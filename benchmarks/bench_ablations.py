@@ -1,0 +1,163 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* compositional aggregation vs. flat composition (the point of Section 4),
+* the cost/benefit of the bisimulation reduction variant,
+* state-space growth of the four repair strategies (Section 3.2),
+* gate narrowing width (how the SYSTEM DOWN tree is compiled).
+"""
+
+import pytest
+
+from repro.arcade.semantics import translate_model
+from repro.baselines import flat_compose
+from repro.casestudies.workloads import (
+    redundant_array_model,
+    series_of_parallel_groups,
+    series_of_parallel_model,
+)
+from repro.composer import compose_model, hierarchical_order
+from repro.ctmc import steady_state_availability
+from repro.lumping import minimize_strong
+
+
+# --------------------------------------------------------------------------- #
+# compositional aggregation vs. flat composition
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("stages", [2, 3, 4])
+def test_compositional_vs_flat(benchmark, stages):
+    """Largest intermediate model: compositional aggregation vs. flat product."""
+    model = series_of_parallel_model(stages, 2)
+    translated = translate_model(model)
+    order = hierarchical_order(translated, series_of_parallel_groups(stages, 2))
+
+    def compositional():
+        return compose_model(translated, order=order)
+
+    composed = benchmark.pedantic(compositional, rounds=1, iterations=1)
+    flat = flat_compose(
+        translate_model(series_of_parallel_model(stages, 2)),
+        max_states=200_000,
+        build_ctmc=False,
+    )
+    flat_size = flat.states if flat.completed else f">{flat.states} (budget exceeded)"
+    print(
+        f"\n[{stages} stages x 2 replicas] compositional largest intermediate: "
+        f"{composed.statistics.largest_intermediate_states} states, final CTMC "
+        f"{composed.ctmc.num_states}; flat product: {flat_size} states"
+    )
+    assert composed.statistics.largest_intermediate_states < 200_000
+
+
+# --------------------------------------------------------------------------- #
+# reduction variant
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("reduction", ["none", "strong", "weak"])
+def test_reduction_variants(benchmark, reduction):
+    """All reduction variants give the same availability; sizes differ."""
+    model = series_of_parallel_model(3, 2)
+    translated = translate_model(model)
+    order = hierarchical_order(translated, series_of_parallel_groups(3, 2))
+
+    def run():
+        return compose_model(translated, order=order, reduction=reduction)
+
+    composed = benchmark.pedantic(run, rounds=1, iterations=1)
+    availability = steady_state_availability(composed.ctmc)
+    print(
+        f"\n[reduction={reduction}] largest intermediate "
+        f"{composed.statistics.largest_intermediate_states} states, final CTMC "
+        f"{composed.ctmc.num_states} states, availability {availability:.9f}"
+    )
+    assert availability == pytest.approx(0.999988, abs=1e-4)
+
+
+# --------------------------------------------------------------------------- #
+# repair strategies
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("strategy", ["fcfs", "pnp", "pp"])
+def test_repair_strategy_state_space(benchmark, strategy):
+    """State-space growth of the shared repair-unit strategies (Section 3.2)."""
+    priorities = [1, 2, 3, 4] if strategy in ("pnp", "pp") else None
+    model = redundant_array_model(
+        4, 2, strategy=strategy, priorities=priorities, name=f"array_{strategy}"
+    )
+    translated = translate_model(model)
+    unit_name = "shared_rep"
+
+    def build():
+        return translated.blocks[unit_name]
+
+    automaton = benchmark(build)
+    evaluator_ctmc = compose_model(translated).ctmc
+    print(
+        f"\n[strategy={strategy}] repair-unit I/O-IMC: {automaton.num_states} states; "
+        f"system CTMC: {evaluator_ctmc.num_states} states; availability "
+        f"{steady_state_availability(evaluator_ctmc):.9f}"
+    )
+    assert automaton.num_states > 1
+
+
+def test_dedicated_vs_shared_repair(benchmark):
+    """Dedicated repair yields a smaller model but a different availability."""
+    shared = redundant_array_model(3, 3, shared_repair=True, name="shared")
+    dedicated = redundant_array_model(3, 3, shared_repair=False, name="dedicated")
+
+    def run():
+        return (
+            compose_model(translate_model(shared)).ctmc,
+            compose_model(translate_model(dedicated)).ctmc,
+        )
+
+    shared_ctmc, dedicated_ctmc = benchmark.pedantic(run, rounds=1, iterations=1)
+    shared_availability = steady_state_availability(shared_ctmc)
+    dedicated_availability = steady_state_availability(dedicated_ctmc)
+    print(
+        f"\nshared FCFS repair: {shared_ctmc.num_states} states, A={shared_availability:.9f}; "
+        f"dedicated repair: {dedicated_ctmc.num_states} states, A={dedicated_availability:.9f}"
+    )
+    # A single shared repairman cannot do better than one repairman per component.
+    assert dedicated_availability >= shared_availability
+
+
+# --------------------------------------------------------------------------- #
+# gate narrowing width
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("width", [2, 4, 8])
+def test_gate_width_ablation(benchmark, width):
+    """Wider SYSTEM DOWN gates mean fewer but larger blocks."""
+    model = series_of_parallel_model(4, 2)
+
+    def translate():
+        return translate_model(series_of_parallel_model(4, 2), max_gate_width=width)
+
+    translated = benchmark(translate)
+    gate_sizes = [block.num_states for name, block in translated.blocks.items()
+                  if name in translated.gates]
+    composed = compose_model(translated)
+    print(
+        f"\n[max_gate_width={width}] gates: {len(translated.gates)}, largest gate "
+        f"{max(gate_sizes)} states, largest intermediate "
+        f"{composed.statistics.largest_intermediate_states}, final CTMC {composed.ctmc.num_states}"
+    )
+    assert steady_state_availability(composed.ctmc) == pytest.approx(
+        steady_state_availability(compose_model(translate_model(model)).ctmc), rel=1e-9
+    )
+
+
+# --------------------------------------------------------------------------- #
+# minimisation cost
+# --------------------------------------------------------------------------- #
+def test_lumping_cost_and_reduction(benchmark):
+    """Cost of one strong-bisimulation pass on a mid-sized intermediate model."""
+    model = redundant_array_model(5, 3, name="lumping_target")
+    translated = translate_model(model)
+    from repro.ioimc import compose_many
+
+    product = compose_many(list(translated.blocks.values()))
+
+    result = benchmark(minimize_strong, product)
+    print(
+        f"\nstrong bisimulation: {product.num_states} -> {result.quotient.num_states} states "
+        f"(reduction factor {result.reduction_factor:.1f}x)"
+    )
+    assert result.quotient.num_states <= product.num_states

@@ -1,0 +1,231 @@
+"""Figures 1-9: the I/O-IMC building blocks of the paper.
+
+Each benchmark constructs the I/O-IMC of one of the paper's figures and
+reports its state/transition counts, so the structural models of Sections 2
+and 3 can be compared against the paper by eye (the numbers printed at the
+end of a run are the reproduced "figure").
+"""
+
+import pytest
+
+from repro import Exponential
+from repro.arcade import (
+    ArcadeModel,
+    BasicComponent,
+    RepairStrategy,
+    RepairUnit,
+    SpareManagementUnit,
+    down,
+    spare_group,
+)
+from repro.arcade.operational_modes import on_off_group
+from repro.arcade.semantics import (
+    build_component_ioimc,
+    build_gate_ioimc,
+    build_repair_unit_ioimc,
+    build_spare_unit_ioimc,
+)
+from repro.arcade.semantics.gate_semantics import GateInput, VotingGate
+from repro.ioimc import IOIMCBuilder, Signature
+
+
+def _report(name: str, automaton) -> None:
+    summary = automaton.summary()
+    print(
+        f"\n[{name}] states={summary['states']} "
+        f"interactive={summary['interactive_transitions']} "
+        f"markovian={summary['markovian_transitions']}"
+    )
+
+
+def _two_processor_model() -> ArcadeModel:
+    model = ArcadeModel(name="fig_context")
+    model.add_component(
+        BasicComponent("p", Exponential(0.001), time_to_repairs=Exponential(1.0))
+    )
+    model.add_component(
+        BasicComponent(
+            "s",
+            [Exponential(0.001), Exponential(0.001)],
+            operational_modes=[spare_group()],
+            time_to_repairs=Exponential(1.0),
+        )
+    )
+    model.add_spare_unit(SpareManagementUnit("smu", "p", ["s"]))
+    model.add_repair_unit(RepairUnit("rep", ["p", "s"], RepairStrategy.FCFS))
+    model.set_system_down(down("p") & down("s"))
+    return model
+
+
+def test_fig1_example_ioimc(benchmark):
+    """Fig. 1: the five-state example with a race between a? and a Markovian delay."""
+
+    def build():
+        builder = IOIMCBuilder("fig1", Signature.create(inputs={"a"}, outputs={"b"}))
+        builder.state("S1", initial=True)
+        builder.markovian("S1", 1.0, "S2")
+        builder.interactive("S1", "a", "S3")
+        builder.interactive("S2", "a", "S3")
+        builder.markovian("S3", 2.0, "S4")
+        builder.interactive("S4", "b", "S5")
+        return builder.build()
+
+    automaton = benchmark(build)
+    _report("Fig. 1 example I/O-IMC", automaton)
+    assert automaton.num_states == 5
+    assert automaton.num_markovian_transitions() == 2
+
+
+def test_fig2_fig5_basic_component_with_modes(benchmark):
+    """Figs. 2 and 5: a BC with two operational-mode groups and its failure model."""
+    model = ArcadeModel(name="fig2")
+    model.add_component(
+        BasicComponent("power", Exponential(0.01), time_to_repairs=Exponential(1.0))
+    )
+    component = BasicComponent(
+        "bc",
+        [Exponential(0.001), Exponential(0.002), None, None],
+        operational_modes=[spare_group(), on_off_group(down("power"))],
+        time_to_repairs=Exponential(1.0),
+    )
+    model.add_component(component)
+    model.add_spare_unit(SpareManagementUnit("smu", "power", ["bc"]))
+    model.add_repair_unit(RepairUnit("rp", ["power"], RepairStrategy.DEDICATED))
+    model.add_repair_unit(RepairUnit("rb", ["bc"], RepairStrategy.DEDICATED))
+    model.set_system_down(down("bc"))
+
+    automaton = benchmark(build_component_ioimc, component, model)
+    _report("Fig. 2/5 BC with active-inactive x on-off modes", automaton)
+    # Four operational states (2 x 2) plus the failure-model states.
+    assert automaton.num_states >= 4 + 3
+
+
+def test_fig3_failure_model_with_fdep(benchmark):
+    """Fig. 3: the BC failure model with a destructive functional dependency."""
+    model = ArcadeModel(name="fig3")
+    model.add_component(
+        BasicComponent("fan", Exponential(0.01), time_to_repairs=Exponential(1.0))
+    )
+    component = BasicComponent(
+        "cpu",
+        Exponential(0.001),
+        time_to_repairs=Exponential(1.0),
+        time_to_repair_df=Exponential(1.0),
+        destructive_fdep=down("fan"),
+    )
+    model.add_component(component)
+    model.add_repair_unit(RepairUnit("rf", ["fan"], RepairStrategy.DEDICATED))
+    model.add_repair_unit(RepairUnit("rc", ["cpu"], RepairStrategy.DEDICATED))
+    model.set_system_down(down("cpu"))
+
+    automaton = benchmark(build_component_ioimc, component, model)
+    _report("Fig. 3 BC failure model with DF dependency", automaton)
+    # Up/down in both failure modes, pending announcements, DF bookkeeping.
+    assert automaton.num_states >= 7
+    assert "cpu.failed.df" in automaton.signature.outputs
+
+
+def test_fig4_two_failure_modes(benchmark):
+    """Fig. 4: the failure model with two failure modes (probabilities p, 1-p)."""
+    model = ArcadeModel(name="fig4")
+    component = BasicComponent(
+        "valve",
+        Exponential(1e-6),
+        failure_mode_probabilities=[0.3, 0.7],
+        time_to_repairs=[Exponential(0.1), Exponential(0.1)],
+    )
+    model.add_component(component)
+    model.add_repair_unit(RepairUnit("rep", ["valve"], RepairStrategy.DEDICATED))
+    model.set_system_down(down("valve"))
+
+    automaton = benchmark(build_component_ioimc, component, model)
+    _report("Fig. 4 BC with two failure modes", automaton)
+    rates = sorted(rate for row in automaton.markovian for rate, _ in row)
+    assert rates == pytest.approx([0.3e-6, 0.7e-6])
+
+
+def test_fig6_dedicated_repair_units(benchmark):
+    """Fig. 6: dedicated repair units for one and two failure modes."""
+    model = ArcadeModel(name="fig6")
+    model.add_component(
+        BasicComponent(
+            "v",
+            Exponential(1e-6),
+            failure_mode_probabilities=[0.5, 0.5],
+            time_to_repairs=[Exponential(0.1), Exponential(0.2)],
+        )
+    )
+    unit = RepairUnit("v_rep", ["v"], RepairStrategy.DEDICATED)
+    model.add_repair_unit(unit)
+    model.set_system_down(down("v"))
+
+    automaton = benchmark(build_repair_unit_ioimc, unit, model)
+    _report("Fig. 6b dedicated RU with two failure modes", automaton)
+    assert automaton.num_markovian_transitions() == 2
+
+
+def test_fig7_fcfs_repair_unit(benchmark):
+    """Fig. 7: the FCFS repair unit for two components tracks arrival order."""
+    model = ArcadeModel(name="fig7")
+    for name in ("A", "B"):
+        model.add_component(
+            BasicComponent(name, Exponential(0.001), time_to_repairs=Exponential(1.0))
+        )
+    unit = RepairUnit("rep", ["A", "B"], RepairStrategy.FCFS)
+    model.add_repair_unit(unit)
+    model.set_system_down(down("A") & down("B"))
+
+    automaton = benchmark(build_repair_unit_ioimc, unit, model)
+    _report("Fig. 7 FCFS RU for two components", automaton)
+    assert automaton.num_states >= 7
+
+
+def test_fig8_spare_management_unit(benchmark):
+    """Fig. 8: the SMU for one primary and one spare."""
+    model = _two_processor_model()
+    unit = model.spare_units["smu"]
+    automaton = benchmark(build_spare_unit_ioimc, unit, model)
+    _report("Fig. 8 SMU (1 primary, 1 spare)", automaton)
+    assert automaton.num_states == 4
+    assert automaton.num_markovian_transitions() == 0
+
+
+def test_fig9_smu_with_failover_time(benchmark):
+    """Fig. 9: the extensibility example — an SMU with exponential failover time."""
+    model = ArcadeModel(name="fig9")
+    model.add_component(
+        BasicComponent("p", Exponential(0.001), time_to_repairs=Exponential(1.0))
+    )
+    model.add_component(
+        BasicComponent(
+            "s",
+            [Exponential(0.001), Exponential(0.001)],
+            operational_modes=[spare_group()],
+            time_to_repairs=Exponential(1.0),
+        )
+    )
+    unit = SpareManagementUnit("smu", "p", ["s"], failover=Exponential(120.0))
+    model.add_spare_unit(unit)
+    model.add_repair_unit(RepairUnit("rep", ["p", "s"], RepairStrategy.FCFS))
+    model.set_system_down(down("p") & down("s"))
+
+    automaton = benchmark(build_spare_unit_ioimc, unit, model)
+    _report("Fig. 9 SMU with failover time", automaton)
+    assert automaton.num_markovian_transitions() >= 1
+
+
+def test_fault_tree_gate_ioimc(benchmark):
+    """Section 3.4: the repairable AND gate over two processors as an I/O-IMC."""
+    model = _two_processor_model()
+    gate = VotingGate(
+        "system",
+        2,
+        (
+            GateInput.from_literal(down("p"), model),
+            GateInput.from_literal(down("s"), model),
+        ),
+        labels_when_failed=frozenset({"down"}),
+    )
+    automaton = benchmark(build_gate_ioimc, gate)
+    _report("Section 3.4 repairable AND gate", automaton)
+    assert automaton.num_states == 8

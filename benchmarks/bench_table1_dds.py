@@ -1,0 +1,120 @@
+"""Table 1: dependability analysis of the distributed database system.
+
+Regenerates the paper's Table 1:
+
+=============  ===========  ==========  ==========
+Measure        Arcade       SAN         Galileo
+=============  ===========  ==========  ==========
+A              0.999997     0.999997    --
+R(5 weeks)     0.402018     0.425082    0.402018
+=============  ===========  ==========  ==========
+
+* the *Arcade* column runs the full compositional-aggregation pipeline of
+  this library;
+* the *SAN* column is reproduced with the flat, folded GSPN model of
+  :mod:`repro.baselines.gspn` (the 0.425 reliability arises because the SAN
+  model of [19] treats the spare processor as a cold spare);
+* the *Galileo* column is reproduced with the static-fault-tree evaluator
+  (exact, no repair).
+"""
+
+import pytest
+
+from repro.baselines import StaticFaultTreeAnalyzer
+from repro.baselines.gspn import DDSNetOptions, build_dds_san_ctmc
+from repro.casestudies.dds import (
+    MISSION_TIME_HOURS,
+    build_dds_evaluator,
+    build_dds_model,
+    build_dds_modular_evaluator,
+)
+from repro.ctmc import steady_state_availability, unreliability
+
+PAPER_TABLE_1 = {
+    ("arcade", "availability"): 0.999997,
+    ("arcade", "reliability"): 0.402018,
+    ("san", "availability"): 0.999997,
+    ("san", "reliability"): 0.425082,
+    ("galileo", "reliability"): 0.402018,
+}
+
+
+@pytest.fixture(scope="module")
+def arcade_evaluator():
+    evaluator = build_dds_evaluator()
+    evaluator.availability()  # force the (expensive) composition once
+    return evaluator
+
+
+def _print_row(tool: str, availability, reliability) -> None:
+    fmt = lambda value: "-" if value is None else f"{value:.6f}"
+    print(f"  {tool:<22} A={fmt(availability)}   R(5 weeks)={fmt(reliability)}")
+
+
+def test_table1_arcade_column(benchmark, arcade_evaluator):
+    """Arcade column: steady-state availability and no-repair reliability."""
+
+    def measures():
+        availability = arcade_evaluator.availability()
+        reliability = arcade_evaluator.reliability(MISSION_TIME_HOURS)
+        return availability, reliability
+
+    availability, reliability = benchmark(measures)
+    print("\nTable 1 (Arcade column, compositional I/O-IMC pipeline):")
+    _print_row("Arcade (this library)", availability, reliability)
+    _print_row("Arcade (paper)", PAPER_TABLE_1[("arcade", "availability")],
+               PAPER_TABLE_1[("arcade", "reliability")])
+    assert availability == pytest.approx(PAPER_TABLE_1[("arcade", "availability")], abs=1e-6)
+    assert reliability == pytest.approx(PAPER_TABLE_1[("arcade", "reliability")], abs=5e-6)
+
+
+def test_table1_arcade_modular_cross_check(benchmark):
+    """The independent-subsystem (modular) evaluation gives the same Arcade numbers."""
+
+    def measures():
+        modular = build_dds_modular_evaluator()
+        return (
+            modular.availability(),
+            modular.reliability(MISSION_TIME_HOURS, assume_no_repair=True),
+        )
+
+    availability, reliability = benchmark.pedantic(measures, rounds=1, iterations=1)
+    print("\nTable 1 cross-check (modular evaluation of independent subsystems):")
+    _print_row("Arcade (modular)", availability, reliability)
+    assert availability == pytest.approx(0.999997, abs=1e-6)
+    assert reliability == pytest.approx(0.402018, abs=5e-6)
+
+
+def test_table1_san_column(benchmark):
+    """SAN column: the flat folded GSPN with a cold spare processor."""
+
+    def measures():
+        repairable = build_dds_san_ctmc()
+        availability = steady_state_availability(repairable)
+        no_repair = build_dds_san_ctmc(
+            options=DDSNetOptions(cold_spare=True, with_repair=False)
+        )
+        reliability = 1.0 - unreliability(no_repair, MISSION_TIME_HOURS)
+        return availability, reliability
+
+    availability, reliability = benchmark(measures)
+    print("\nTable 1 (SAN column, flat GSPN baseline):")
+    _print_row("SAN-style GSPN (this library)", availability, reliability)
+    _print_row("SAN (paper)", PAPER_TABLE_1[("san", "availability")],
+               PAPER_TABLE_1[("san", "reliability")])
+    assert availability == pytest.approx(PAPER_TABLE_1[("san", "availability")], abs=2e-6)
+    assert reliability == pytest.approx(PAPER_TABLE_1[("san", "reliability")], abs=5e-6)
+
+
+def test_table1_galileo_column(benchmark):
+    """Galileo column: static fault tree, no repair."""
+
+    def measure():
+        analyzer = StaticFaultTreeAnalyzer(build_dds_model())
+        return analyzer.reliability(MISSION_TIME_HOURS)
+
+    reliability = benchmark(measure)
+    print("\nTable 1 (Galileo column, static fault-tree evaluation):")
+    _print_row("Static FT (this library)", None, reliability)
+    _print_row("Galileo (paper)", None, PAPER_TABLE_1[("galileo", "reliability")])
+    assert reliability == pytest.approx(PAPER_TABLE_1[("galileo", "reliability")], abs=5e-6)

@@ -1,0 +1,94 @@
+"""The Distributed Database System case study (Section 5.1, Table 1).
+
+Reproduces the paper's headline result: the DDS with 2 processors (one
+spare), 4 disk controllers and 24 disks is evaluated through the full
+compositional-aggregation pipeline, reaching the paper's 2,100-state CTMC,
+an availability of 0.999997 and a 5-week reliability of 0.402018.  The SAN
+and Galileo comparison columns of Table 1 are reproduced by the baselines.
+
+Run with::
+
+    python examples/distributed_database.py            # full pipeline (~30 s)
+    python examples/distributed_database.py --fast     # modular evaluation only
+"""
+
+import argparse
+import time
+
+from repro.baselines import StaticFaultTreeAnalyzer
+from repro.baselines.gspn import DDSNetOptions, build_dds_san_ctmc
+from repro.casestudies.dds import (
+    MISSION_TIME_HOURS,
+    build_dds_evaluator,
+    build_dds_model,
+    build_dds_modular_evaluator,
+)
+from repro.ctmc import steady_state_availability, unreliability
+
+
+def arcade_column(fast: bool) -> tuple[float, float]:
+    """Availability and reliability through the Arcade pipeline."""
+    if fast:
+        modular = build_dds_modular_evaluator()
+        return (
+            modular.availability(),
+            modular.reliability(MISSION_TIME_HOURS, assume_no_repair=True),
+        )
+    evaluator = build_dds_evaluator()
+    start = time.time()
+    availability = evaluator.availability()
+    reliability = evaluator.reliability(MISSION_TIME_HOURS)
+    elapsed = time.time() - start
+    statistics = evaluator.composed.statistics
+    print(
+        f"  compositional aggregation: final CTMC {evaluator.ctmc.num_states} states / "
+        f"{evaluator.ctmc.num_transitions} transitions (paper: 2,100 / 15,120), "
+        f"largest intermediate {statistics.largest_intermediate_states} states, "
+        f"{elapsed:.1f} s"
+    )
+    return availability, reliability
+
+
+def san_column() -> tuple[float, float]:
+    """The SAN comparison column, reproduced with the flat GSPN baseline."""
+    availability = steady_state_availability(build_dds_san_ctmc())
+    no_repair = build_dds_san_ctmc(options=DDSNetOptions(cold_spare=True, with_repair=False))
+    reliability = 1.0 - unreliability(no_repair, MISSION_TIME_HOURS)
+    return availability, reliability
+
+
+def galileo_column() -> float:
+    """The Galileo comparison column: exact static fault-tree reliability."""
+    return StaticFaultTreeAnalyzer(build_dds_model()).reliability(MISSION_TIME_HOURS)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use the modular (independent-subsystem) evaluation instead of the full composition",
+    )
+    arguments = parser.parse_args()
+
+    print("Distributed Database System — Table 1 of the paper")
+    print(f"mission time: {MISSION_TIME_HOURS:g} hours (5 weeks)\n")
+
+    arcade_availability, arcade_reliability = arcade_column(arguments.fast)
+    san_availability, san_reliability = san_column()
+    galileo_reliability = galileo_column()
+
+    print()
+    print(f"{'Measure':<14}{'Arcade':>12}{'SAN':>12}{'Galileo':>12}")
+    print(f"{'A':<14}{arcade_availability:>12.6f}{san_availability:>12.6f}{'-':>12}")
+    print(
+        f"{'R(5 weeks)':<14}{arcade_reliability:>12.6f}{san_reliability:>12.6f}"
+        f"{galileo_reliability:>12.6f}"
+    )
+    print()
+    print("paper reports:  A = 0.999997 (Arcade and SAN),")
+    print("                R = 0.402018 (Arcade, Galileo) vs 0.425082 (SAN, cold spare)")
+
+
+if __name__ == "__main__":
+    main()

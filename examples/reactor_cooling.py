@@ -1,0 +1,58 @@
+"""The Reactor Cooling System case study (Section 5.2).
+
+Two load-sharing pump lines (Erlang-2 failure and repair times, a shared
+FCFS repair unit for the pumps), a heat exchanger with its filter and
+valves, and a bypass of two motor-driven valves.  Following the paper, the
+system is analysed by *modularization*: the pump subsystem and the
+heat-exchanger subsystem are independent, so their CTMCs are generated and
+solved separately and combined through the system fault tree.
+
+Run with::
+
+    python examples/reactor_cooling.py
+"""
+
+from repro.casestudies.rcs import (
+    MISSION_TIME_HOURS,
+    build_rcs_modular_evaluator,
+)
+from repro.ctmc import point_availability
+
+
+def main() -> None:
+    print("Reactor Cooling System — Section 5.2 of the paper")
+    print(f"mission time: {MISSION_TIME_HOURS:g} hours\n")
+
+    modular = build_rcs_modular_evaluator()
+
+    print("per-subsystem CTMCs (modularization):")
+    subsystem_unavailability = {}
+    for name, evaluator in modular.evaluators.items():
+        evaluator.availability()
+        statistics = evaluator.composed.statistics
+        unavailability_at_t = 1.0 - point_availability(evaluator.ctmc, MISSION_TIME_HOURS)
+        subsystem_unavailability[name] = unavailability_at_t
+        print(
+            f"  {name:<14} CTMC {evaluator.ctmc.num_states:>5} states / "
+            f"{evaluator.ctmc.num_transitions:>6} transitions, "
+            f"largest intermediate {statistics.largest_intermediate_states:>6} states, "
+            f"U({MISSION_TIME_HOURS:g} h) = {unavailability_at_t:.3e}"
+        )
+
+    unavailability = 1.0
+    for value in subsystem_unavailability.values():
+        unavailability *= 1.0 - value
+    unavailability = 1.0 - unavailability
+    unreliability = modular.unreliability(MISSION_TIME_HOURS, assume_no_repair=False)
+
+    print()
+    print(f"system unavailability at {MISSION_TIME_HOURS:g} h : {unavailability:.4e}")
+    print(f"system unreliability  at {MISSION_TIME_HOURS:g} h : {unreliability:.4e}")
+    print()
+    print("paper reports: unavailability 6.52100e-10, unreliability 52.9242e-10")
+    print("(absolute values depend on the per-line valve/filter counts, which the")
+    print(" paper does not enumerate — see DESIGN.md for the documented substitution)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Arcade's textual syntax (Section 3.5) and the extensibility example (Section 3.6).
+
+The script demonstrates two further features of the framework:
+
+1. a system written in the paper's textual syntax is parsed, evaluated and
+   serialised back;
+2. the failover-time extension of Section 3.6: an SMU whose spare activation
+   takes an exponentially distributed amount of time (Fig. 9).  The example
+   sweeps the failover rate and shows how a slow failover erodes the benefit
+   of the spare.
+
+Run with::
+
+    python examples/textual_syntax_and_extensions.py
+"""
+
+from repro import Exponential
+from repro.analysis import ArcadeEvaluator
+from repro.arcade import (
+    ArcadeModel,
+    BasicComponent,
+    RepairStrategy,
+    RepairUnit,
+    SpareManagementUnit,
+    down,
+    spare_group,
+)
+from repro.arcade.syntax import parse_model, serialize_model
+
+SPECIFICATION = """
+# A small storage array written in the textual Arcade syntax.
+COMPONENT: controller
+TIME-TO-FAILURE: exp(1/4000)
+TIME-TO-REPAIR: exp(0.5)
+
+COMPONENT: disk_1
+TIME-TO-FAILURE: exp(1/6000)
+TIME-TO-REPAIR: exp(1)
+
+COMPONENT: disk_2
+TIME-TO-FAILURE: exp(1/6000)
+TIME-TO-REPAIR: exp(1)
+
+COMPONENT: disk_3
+TIME-TO-FAILURE: exp(1/6000)
+TIME-TO-REPAIR: exp(1)
+
+REPAIR UNIT: controller_rep
+COMPONENTS: controller
+STRATEGY: Dedicated
+
+REPAIR UNIT: disk_rep
+COMPONENTS: disk_1, disk_2, disk_3
+STRATEGY: FCFS
+
+SYSTEM DOWN: controller.down or 2of3(disk_1.down, disk_2.down, disk_3.down)
+"""
+
+
+def textual_syntax_demo() -> None:
+    print("--- textual syntax (Section 3.5) ---")
+    model = parse_model(SPECIFICATION, name="storage_array")
+    evaluator = ArcadeEvaluator(model)
+    print(f"parsed {model.summary()} from the textual specification")
+    print(f"availability          : {evaluator.availability():.9f}")
+    print(f"reliability (1000 h)  : {evaluator.reliability(1000.0):.6f}")
+    print()
+    print("serialised back to Arcade syntax:")
+    for line in serialize_model(model).splitlines()[:6]:
+        print(f"    {line}")
+    print("    ...")
+
+
+def failover_model(failover_rate: float | None) -> ArcadeModel:
+    """One primary and one spare pump; the SMU may need time to fail over."""
+    model = ArcadeModel(name="failover_demo")
+    model.add_component(
+        BasicComponent("primary", Exponential(0.01), time_to_repairs=Exponential(0.2))
+    )
+    model.add_component(
+        BasicComponent(
+            "spare",
+            [Exponential(0.001), Exponential(0.01)],  # dormant vs active failure rate
+            operational_modes=[spare_group()],
+            time_to_repairs=Exponential(0.2),
+        )
+    )
+    failover = Exponential(failover_rate) if failover_rate is not None else None
+    model.add_spare_unit(SpareManagementUnit("smu", "primary", ["spare"], failover=failover))
+    model.add_repair_unit(RepairUnit("rep", ["primary", "spare"], RepairStrategy.FCFS))
+    model.set_system_down(down("primary") & down("spare"))
+    return model
+
+
+def failover_extension_demo() -> None:
+    print("\n--- extensibility: failover time (Section 3.6, Fig. 9) ---")
+    print(f"{'failover':<22}{'availability':>16}{'MTTF (h)':>14}")
+    instantaneous = ArcadeEvaluator(failover_model(None))
+    print(
+        f"{'instantaneous (Fig. 8)':<22}{instantaneous.availability():>16.9f}"
+        f"{instantaneous.mean_time_to_failure():>14.0f}"
+    )
+    for rate in (10.0, 1.0, 0.1):
+        evaluator = ArcadeEvaluator(failover_model(rate))
+        label = f"exp({rate:g}) ~ {1.0 / rate:g} h"
+        print(
+            f"{label:<22}{evaluator.availability():>16.9f}"
+            f"{evaluator.mean_time_to_failure():>14.0f}"
+        )
+    print(
+        "(with this purely failure-based SYSTEM DOWN criterion a slower failover keeps the\n"
+        " spare dormant — and failing at its lower dormant rate — for longer, which raises\n"
+        " availability; modelling the service gap during the switch-over would additionally\n"
+        " mark the spare as inaccessible while the failover is in progress)"
+    )
+
+
+def main() -> None:
+    textual_syntax_demo()
+    failover_extension_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` uses PEP 517 editable builds which require `wheel`; this
+shim lets `python setup.py develop` (or legacy `pip install -e . --no-build-isolation`
+with old setuptools) install the package in editable mode from pyproject.toml
+metadata alone.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""High-level evaluation of Arcade models (translate, compose, solve)."""
+
+from .evaluator import ArcadeEvaluator, EvaluationReport
+from .modular import ModularEvaluator, SubsystemResult
+
+__all__ = ["ArcadeEvaluator", "EvaluationReport", "ModularEvaluator", "SubsystemResult"]

@@ -1,0 +1,62 @@
+"""The Arcade modelling language (Section 3 of the paper).
+
+A system is described as a set of interacting building blocks:
+
+* :class:`~repro.arcade.component.BasicComponent` — physical/logical parts
+  with operational modes and a failure model,
+* :class:`~repro.arcade.repair_unit.RepairUnit` — repair policies
+  (dedicated, FCFS, priority based),
+* :class:`~repro.arcade.spare_unit.SpareManagementUnit` — spare activation,
+* a ``SYSTEM DOWN`` failure expression (a fault tree over component failure
+  modes).
+
+The declarative model lives in :class:`~repro.arcade.model.ArcadeModel`; its
+formal semantics in terms of I/O-IMCs is produced by
+:mod:`repro.arcade.semantics` and the textual syntax of Section 3.5 is
+handled by :mod:`repro.arcade.syntax`.
+"""
+
+from .component import BasicComponent
+from .expressions import (
+    And,
+    Expression,
+    KOutOfN,
+    Literal,
+    Or,
+    down,
+    k_of_n,
+    parse_expression,
+)
+from .model import ArcadeModel
+from .operational_modes import (
+    OMGroupKind,
+    OperationalModeGroup,
+    accessibility_group,
+    degradation_group,
+    on_off_group,
+    spare_group,
+)
+from .repair_unit import RepairStrategy, RepairUnit
+from .spare_unit import SpareManagementUnit
+
+__all__ = [
+    "And",
+    "ArcadeModel",
+    "BasicComponent",
+    "Expression",
+    "KOutOfN",
+    "Literal",
+    "OMGroupKind",
+    "OperationalModeGroup",
+    "Or",
+    "RepairStrategy",
+    "RepairUnit",
+    "SpareManagementUnit",
+    "accessibility_group",
+    "degradation_group",
+    "down",
+    "k_of_n",
+    "on_off_group",
+    "parse_expression",
+    "spare_group",
+]

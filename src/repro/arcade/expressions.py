@@ -1,0 +1,285 @@
+"""Boolean failure expressions (the AND/OR expressions of the Arcade syntax).
+
+Expressions over component failure modes appear in four places of the Arcade
+language (Section 3.5 of the paper):
+
+* ``SYSTEM DOWN`` — the system failure criterion (a fault tree),
+* ``ON-TO-OFF`` / ``ACCESSIBLE-TO-INACCESSIBLE`` / ``NORMAL-TO-DEGRADED`` —
+  operational-mode switch triggers,
+* ``DESTRUCTIVE FDEP`` — the destructive functional dependency condition.
+
+A literal ``X.down`` refers to any failure mode of component ``X``;
+``X.down.m2`` refers to failure mode 2 specifically.  Gates are conjunction,
+disjunction and the ``K``-out-of-``N`` voting shorthand the paper mentions
+(footnote 7).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..errors import ModelError, SyntaxParseError
+
+
+class Expression:
+    """Base class of failure expressions."""
+
+    def atoms(self) -> Iterator["Literal"]:
+        """Iterate over all literals of the expression."""
+        raise NotImplementedError
+
+    def references(self) -> set[str]:
+        """Names of all components referenced by the expression."""
+        return {literal.component for literal in self.atoms()}
+
+    def __and__(self, other: "Expression") -> "Expression":
+        return And([self, other])
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return Or([self, other])
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """``component.down`` or ``component.down.<mode>``.
+
+    ``mode`` is ``None`` for "any failure mode"; otherwise it is a mode tag
+    such as ``"m2"`` (inherent failure mode 2), ``"df"`` (destructive
+    functional dependency) or ``"inacc"`` (inaccessibility announced as a
+    failure).
+    """
+
+    component: str
+    mode: str | None = None
+
+    def atoms(self) -> Iterator["Literal"]:
+        yield self
+
+    def __str__(self) -> str:
+        if self.mode is None:
+            return f"{self.component}.down"
+        return f"{self.component}.down.{self.mode}"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    """Conjunction of sub-expressions (the system fails when all children hold)."""
+
+    children: tuple[Expression, ...]
+
+    def __init__(self, children: Sequence[Expression]):
+        if len(children) < 1:
+            raise ModelError("an AND expression needs at least one operand")
+        object.__setattr__(self, "children", tuple(children))
+
+    def atoms(self) -> Iterator[Literal]:
+        for child in self.children:
+            yield from child.atoms()
+
+    def __str__(self) -> str:
+        return "(" + " and ".join(str(child) for child in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    """Disjunction of sub-expressions."""
+
+    children: tuple[Expression, ...]
+
+    def __init__(self, children: Sequence[Expression]):
+        if len(children) < 1:
+            raise ModelError("an OR expression needs at least one operand")
+        object.__setattr__(self, "children", tuple(children))
+
+    def atoms(self) -> Iterator[Literal]:
+        for child in self.children:
+            yield from child.atoms()
+
+    def __str__(self) -> str:
+        return "(" + " or ".join(str(child) for child in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class KOutOfN(Expression):
+    """Voting expression: true when at least ``k`` of the children hold."""
+
+    k: int
+    children: tuple[Expression, ...]
+
+    def __init__(self, k: int, children: Sequence[Expression]):
+        if not 1 <= k <= len(children):
+            raise ModelError(
+                f"K-out-of-N needs 1 <= K <= N, got K={k} with {len(children)} children"
+            )
+        object.__setattr__(self, "k", k)
+        object.__setattr__(self, "children", tuple(children))
+
+    def atoms(self) -> Iterator[Literal]:
+        for child in self.children:
+            yield from child.atoms()
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(child) for child in self.children)
+        return f"{self.k}of{len(self.children)}({inner})"
+
+
+def down(component: str, mode: str | None = None) -> Literal:
+    """Convenience constructor for a failure literal (``down("pp")``)."""
+    return Literal(component, mode)
+
+
+def k_of_n(k: int, children: Sequence[Expression]) -> KOutOfN:
+    """Convenience constructor for a voting expression."""
+    return KOutOfN(k, list(children))
+
+
+# --------------------------------------------------------------------------- #
+# textual expression parser
+# --------------------------------------------------------------------------- #
+_TOKEN_PATTERN = re.compile(
+    r"""
+    \s*(
+        \(|\)|,                      # structure
+        |and\b|or\b|AND\b|OR\b       # connectives (word form)
+        |/\\|\\/|&&?|\|\|?           # connectives (symbol form)
+        |\d+of\d+                    # voting shorthand
+        |[A-Za-z_][A-Za-z0-9_.\-]*   # literals such as dc_1.down.m2
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse the textual AND/OR expression syntax used by Arcade.
+
+    The grammar accepts the notation used in the paper (``pp.down /\\
+    ps.down``, ``2of4 d_1.down, ..., d_4.down``) as well as the ASCII forms
+    ``and``/``or``/``&``/``|``.  Operator precedence is the usual one: ``and``
+    binds tighter than ``or``; parentheses group.
+    """
+    tokens = _tokenize(text)
+    parser = _ExpressionParser(tokens, text)
+    expression = parser.parse_or()
+    parser.expect_end()
+    return expression
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if not match:
+            if text[position].isspace():
+                position += 1
+                continue
+            raise SyntaxParseError(f"unexpected character {text[position]!r} in expression {text!r}")
+        token = match.group(1)
+        tokens.append(token)
+        position = match.end()
+    return tokens
+
+
+class _ExpressionParser:
+    """Tiny recursive-descent parser for failure expressions."""
+
+    def __init__(self, tokens: list[str], source: str):
+        self.tokens = tokens
+        self.position = 0
+        self.source = source
+
+    def peek(self) -> str | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SyntaxParseError(f"unexpected end of expression in {self.source!r}")
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        actual = self.advance()
+        if actual != token:
+            raise SyntaxParseError(f"expected {token!r} but found {actual!r} in {self.source!r}")
+
+    def expect_end(self) -> None:
+        if self.peek() is not None:
+            raise SyntaxParseError(
+                f"unexpected trailing token {self.peek()!r} in {self.source!r}"
+            )
+
+    def parse_or(self) -> Expression:
+        children = [self.parse_and()]
+        while self.peek() in ("or", "OR", "\\/", "|", "||"):
+            self.advance()
+            children.append(self.parse_and())
+        if len(children) == 1:
+            return children[0]
+        return Or(children)
+
+    def parse_and(self) -> Expression:
+        children = [self.parse_atom()]
+        while self.peek() in ("and", "AND", "/\\", "&", "&&"):
+            self.advance()
+            children.append(self.parse_atom())
+        if len(children) == 1:
+            return children[0]
+        return And(children)
+
+    def parse_atom(self) -> Expression:
+        token = self.advance()
+        if token == "(":
+            inner = self.parse_or()
+            self.expect(")")
+            return inner
+        voting = re.fullmatch(r"(\d+)of(\d+)", token)
+        if voting:
+            k = int(voting.group(1))
+            n = int(voting.group(2))
+            children = self.parse_voting_operands(n)
+            return KOutOfN(k, children)
+        return self.parse_literal(token)
+
+    def parse_voting_operands(self, count: int) -> list[Expression]:
+        has_parenthesis = self.peek() == "("
+        if has_parenthesis:
+            self.advance()
+        children = [self.parse_or()]
+        while self.peek() == ",":
+            self.advance()
+            children.append(self.parse_or())
+        if has_parenthesis:
+            self.expect(")")
+        if len(children) != count:
+            raise SyntaxParseError(
+                f"voting expression announced {count} operands but {len(children)} were given"
+            )
+        return children
+
+    def parse_literal(self, token: str) -> Literal:
+        parts = token.split(".")
+        if len(parts) >= 2 and parts[-2] == "down":
+            return Literal(".".join(parts[:-2]), parts[-1])
+        if parts[-1] == "down":
+            return Literal(".".join(parts[:-1]), None)
+        raise SyntaxParseError(
+            f"expected a failure literal like 'X.down' or 'X.down.m2', found {token!r}"
+        )
+
+
+__all__ = [
+    "And",
+    "Expression",
+    "KOutOfN",
+    "Literal",
+    "Or",
+    "down",
+    "k_of_n",
+    "parse_expression",
+]

@@ -1,0 +1,127 @@
+"""Repair units (Section 3.2 of the paper).
+
+Repair is handled by separate entities, the repair units (RU), which listen
+to the failure signals of the components they are responsible for, pick the
+next component to repair according to their strategy, let the repair time
+elapse and finally emit the component's ``repaired`` signal.  The paper
+defines four strategies, all implemented here:
+
+* ``DEDICATED`` — each component has its own repair unit (Fig. 6),
+* ``FCFS`` — failed components are repaired in arrival order (Fig. 7),
+* ``PNP`` — FCFS with non-preemptive priorities,
+* ``PP`` — FCFS with preemptive priorities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import ModelError
+
+
+class RepairStrategy(enum.Enum):
+    """The repair policies supported by Arcade."""
+
+    DEDICATED = "dedicated"
+    FCFS = "fcfs"
+    PRIORITY_NON_PREEMPTIVE = "pnp"
+    PRIORITY_PREEMPTIVE = "pp"
+
+
+@dataclass(frozen=True)
+class RepairUnit:
+    """Declarative description of one repair unit.
+
+    Parameters
+    ----------
+    name:
+        Unique name of the repair unit.
+    components:
+        Names of the components this unit repairs.  The paper allows at most
+        one repair unit per component; this is checked at the model level.
+    strategy:
+        One of the four :class:`RepairStrategy` values (default ``DEDICATED``
+        which, following the paper, requires a single component).
+    priorities:
+        Priority value per component (larger value = higher priority), only
+        meaningful for the two priority strategies.
+    """
+
+    name: str
+    components: tuple[str, ...]
+    strategy: RepairStrategy = RepairStrategy.DEDICATED
+    priorities: tuple[int, ...] = ()
+
+    def __init__(
+        self,
+        name: str,
+        components: Sequence[str],
+        strategy: RepairStrategy | str = RepairStrategy.DEDICATED,
+        priorities: Sequence[int] | Mapping[str, int] | None = None,
+    ) -> None:
+        if not name:
+            raise ModelError("a repair unit needs a non-empty name")
+        if not components:
+            raise ModelError(f"repair unit {name}: needs at least one component")
+        if len(set(components)) != len(components):
+            raise ModelError(f"repair unit {name}: duplicate component names")
+        if isinstance(strategy, str):
+            strategy = _strategy_from_string(name, strategy)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "components", tuple(components))
+        object.__setattr__(self, "strategy", strategy)
+        if priorities is None:
+            resolved: tuple[int, ...] = ()
+        elif isinstance(priorities, Mapping):
+            resolved = tuple(int(priorities.get(component, 0)) for component in components)
+        else:
+            resolved = tuple(int(value) for value in priorities)
+        object.__setattr__(self, "priorities", resolved)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.strategy is RepairStrategy.DEDICATED and len(self.components) != 1:
+            raise ModelError(
+                f"repair unit {self.name}: the dedicated strategy serves exactly one component"
+            )
+        needs_priorities = self.strategy in (
+            RepairStrategy.PRIORITY_NON_PREEMPTIVE,
+            RepairStrategy.PRIORITY_PREEMPTIVE,
+        )
+        if needs_priorities:
+            if len(self.priorities) != len(self.components):
+                raise ModelError(
+                    f"repair unit {self.name}: priority strategies need one priority per component"
+                )
+        elif self.priorities and len(self.priorities) != len(self.components):
+            raise ModelError(
+                f"repair unit {self.name}: got {len(self.priorities)} priorities for "
+                f"{len(self.components)} components"
+            )
+
+    def priority_of(self, component: str) -> int:
+        """Priority of ``component`` (0 when priorities are not used)."""
+        if not self.priorities:
+            return 0
+        return self.priorities[self.components.index(component)]
+
+
+def _strategy_from_string(unit_name: str, text: str) -> RepairStrategy:
+    normalized = text.strip().lower()
+    aliases = {
+        "dedicated": RepairStrategy.DEDICATED,
+        "fcfs": RepairStrategy.FCFS,
+        "pnp": RepairStrategy.PRIORITY_NON_PREEMPTIVE,
+        "pp": RepairStrategy.PRIORITY_PREEMPTIVE,
+    }
+    if normalized not in aliases:
+        raise ModelError(
+            f"repair unit {unit_name}: unknown strategy {text!r} "
+            f"(expected one of {sorted(aliases)})"
+        )
+    return aliases[normalized]
+
+
+__all__ = ["RepairStrategy", "RepairUnit"]

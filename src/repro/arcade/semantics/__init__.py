@@ -1,0 +1,32 @@
+"""Semantics: translation of Arcade building blocks into I/O-IMCs (Section 3)."""
+
+from .bc_semantics import ComponentTranslator, build_component_ioimc, evaluate_expression
+from .gate_semantics import GateInput, GateTranslator, VotingGate, build_gate_ioimc
+from .ru_semantics import RepairUnitTranslator, build_repair_unit_ioimc
+from .smu_semantics import SpareUnitTranslator, build_spare_unit_ioimc
+from .translator import (
+    DOWN_LABEL,
+    SYSTEM_GATE_NAME,
+    ModelTranslator,
+    TranslatedModel,
+    translate_model,
+)
+
+__all__ = [
+    "ComponentTranslator",
+    "DOWN_LABEL",
+    "GateInput",
+    "GateTranslator",
+    "ModelTranslator",
+    "RepairUnitTranslator",
+    "SYSTEM_GATE_NAME",
+    "SpareUnitTranslator",
+    "TranslatedModel",
+    "VotingGate",
+    "build_component_ioimc",
+    "build_gate_ioimc",
+    "build_repair_unit_ioimc",
+    "build_spare_unit_ioimc",
+    "evaluate_expression",
+    "translate_model",
+]

@@ -1,0 +1,185 @@
+"""Translation of a complete Arcade model into a set of I/O-IMCs.
+
+This is the first step of the evaluation approach of Section 4 of the paper
+("we translate all basic components, spare management units, repair units,
+and system failure evaluation models into their underlying I/O-IMCs") — the
+step that was not yet automated in the original tool chain and is fully
+automated here.
+
+The ``SYSTEM DOWN`` expression is compiled into a tree of voting gates; wide
+conjunctions/disjunctions are split into balanced binary trees by default,
+which keeps the intermediate models of the compositional aggregation small
+(an n-input gate has 2^n states, and its inputs stay unconstrained until the
+corresponding subsystems have been composed in).  The top gate carries the
+``down`` label on every state in which its condition holds; this label
+survives composition, minimisation and CTMC extraction and identifies the
+system-failure states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import ModelError
+from ...ioimc import IOIMC
+from ..expressions import And, Expression, KOutOfN, Literal, Or
+from ..model import ArcadeModel
+from .bc_semantics import build_component_ioimc
+from .gate_semantics import GateInput, VotingGate, build_gate_ioimc
+from .ru_semantics import build_repair_unit_ioimc
+from .smu_semantics import build_spare_unit_ioimc
+
+#: Name of the top-level system gate created by the translator.
+SYSTEM_GATE_NAME = "_sys"
+
+#: Atomic proposition carried by the system gate while its condition holds.
+DOWN_LABEL = "down"
+
+
+@dataclass
+class TranslatedModel:
+    """The I/O-IMCs of all building blocks of one Arcade model."""
+
+    model: ArcadeModel
+    blocks: dict[str, IOIMC]
+    top_gate: str
+    gates: dict[str, VotingGate] = field(default_factory=dict)
+
+    def block_names(self) -> list[str]:
+        """Names of all blocks (components, units and gates)."""
+        return list(self.blocks)
+
+    def listeners_of(self, action: str) -> set[str]:
+        """Blocks that have ``action`` in their input signature."""
+        return {
+            name
+            for name, block in self.blocks.items()
+            if action in block.signature.inputs
+        }
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Per-block size statistics (used in EXPERIMENTS.md)."""
+        return {name: block.summary() for name, block in self.blocks.items()}
+
+
+class ModelTranslator:
+    """Translates an :class:`ArcadeModel` into its building-block I/O-IMCs."""
+
+    def __init__(self, model: ArcadeModel, *, max_gate_width: int = 2):
+        if max_gate_width < 2:
+            raise ModelError("max_gate_width must be at least 2")
+        self.model = model
+        self.max_gate_width = max_gate_width
+        self.gates: dict[str, VotingGate] = {}
+
+    # ------------------------------------------------------------------ #
+    # gate-tree compilation
+    # ------------------------------------------------------------------ #
+    def _register_gate(self, gate: VotingGate) -> GateInput:
+        if gate.name in self.gates:
+            raise ModelError(f"duplicate gate name {gate.name!r}")
+        self.gates[gate.name] = gate
+        return GateInput.from_gate(gate.name)
+
+    def _compile(self, expression: Expression, name: str) -> GateInput:
+        """Compile ``expression`` into gate inputs, creating sub-gates as needed."""
+        if isinstance(expression, Literal):
+            return GateInput.from_literal(expression, self.model)
+        if isinstance(expression, KOutOfN):
+            children = [
+                self._compile(child, f"{name}.{index + 1}")
+                for index, child in enumerate(expression.children)
+            ]
+            return self._register_gate(
+                VotingGate(name, expression.k, tuple(children))
+            )
+        if isinstance(expression, (And, Or)):
+            compiled = [
+                self._compile(child, f"{name}.{index + 1}")
+                for index, child in enumerate(expression.children)
+            ]
+            return self._compile_connective(compiled, name, isinstance(expression, And))
+        raise ModelError(f"unknown expression node {expression!r}")
+
+    def _compile_connective(
+        self, inputs: list[GateInput], name: str, is_and: bool
+    ) -> GateInput:
+        """Build a (possibly narrowed) gate tree for a conjunction/disjunction.
+
+        Wide gates are split into a balanced tree of gates of width at most
+        ``max_gate_width``; splitting is sound because both connectives are
+        associative.  The gate registered under ``name`` is the root of the
+        tree.
+        """
+        width = self.max_gate_width
+        level = 0
+        while len(inputs) > width:
+            grouped: list[GateInput] = []
+            for chunk_index, start in enumerate(range(0, len(inputs), width)):
+                chunk = inputs[start : start + width]
+                if len(chunk) == 1:
+                    grouped.append(chunk[0])
+                    continue
+                sub_name = f"{name}.n{level}.{chunk_index}"
+                k = len(chunk) if is_and else 1
+                grouped.append(self._register_gate(VotingGate(sub_name, k, tuple(chunk))))
+            inputs = grouped
+            level += 1
+        k = len(inputs) if is_and else 1
+        return self._register_gate(VotingGate(name, k, tuple(inputs)))
+
+    def _compile_top(self, expression: Expression) -> str:
+        """Compile the SYSTEM DOWN expression; always produce a labelled top gate."""
+        if isinstance(expression, Literal):
+            gate = VotingGate(
+                SYSTEM_GATE_NAME,
+                1,
+                (GateInput.from_literal(expression, self.model),),
+                labels_when_failed=frozenset({DOWN_LABEL}),
+            )
+            self.gates[SYSTEM_GATE_NAME] = gate
+            return SYSTEM_GATE_NAME
+        top_input = self._compile(expression, SYSTEM_GATE_NAME)
+        # The compilation of a non-literal expression registers the top gate
+        # under SYSTEM_GATE_NAME; attach the "down" label to it.
+        gate = self.gates[SYSTEM_GATE_NAME]
+        self.gates[SYSTEM_GATE_NAME] = VotingGate(
+            gate.name, gate.k, gate.inputs, labels_when_failed=frozenset({DOWN_LABEL})
+        )
+        del top_input
+        return SYSTEM_GATE_NAME
+
+    # ------------------------------------------------------------------ #
+    # translation
+    # ------------------------------------------------------------------ #
+    def translate(self) -> TranslatedModel:
+        """Produce the I/O-IMC of every building block of the model."""
+        self.model.validate()
+        assert self.model.system_down is not None
+        self.gates = {}
+        top = self._compile_top(self.model.system_down)
+
+        blocks: dict[str, IOIMC] = {}
+        for name, component in self.model.components.items():
+            blocks[name] = build_component_ioimc(component, self.model)
+        for name, unit in self.model.repair_units.items():
+            blocks[name] = build_repair_unit_ioimc(unit, self.model)
+        for name, unit in self.model.spare_units.items():
+            blocks[name] = build_spare_unit_ioimc(unit, self.model)
+        for name, gate in self.gates.items():
+            blocks[name] = build_gate_ioimc(gate)
+        return TranslatedModel(self.model, blocks, top, dict(self.gates))
+
+
+def translate_model(model: ArcadeModel, *, max_gate_width: int = 2) -> TranslatedModel:
+    """Translate ``model`` into the I/O-IMCs of its building blocks."""
+    return ModelTranslator(model, max_gate_width=max_gate_width).translate()
+
+
+__all__ = [
+    "DOWN_LABEL",
+    "SYSTEM_GATE_NAME",
+    "ModelTranslator",
+    "TranslatedModel",
+    "translate_model",
+]

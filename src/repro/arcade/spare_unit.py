@@ -1,0 +1,81 @@
+"""Spare management units (Section 3.3 of the paper).
+
+A spare management unit (SMU) activates and deactivates spare components: it
+listens to the primary's failure and restoration signals and sends
+``activate``/``deactivate`` signals to its spares.  The paper works out the
+one-primary/one-spare configuration (Fig. 8) and sketches two extensions that
+are also implemented here:
+
+* one primary with several spares (Section 3.3, item 2),
+* an exponentially distributed *failover time* between detecting the
+  primary's failure and activating the spare (Section 3.6, Fig. 9) — the
+  paper's worked example of Arcade's extensibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..distributions import PhaseType
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class SpareManagementUnit:
+    """Declarative description of one spare management unit.
+
+    Parameters
+    ----------
+    name:
+        Unique name of the unit.
+    primary:
+        The primary component (assumed to always be in active mode).
+    spares:
+        The spare components, in activation preference order.  Each spare
+        must carry an ``active/inactive`` operational-mode group.
+    failover:
+        Optional phase-type failover delay (``None`` means instantaneous
+        activation as in Fig. 8; a distribution gives the Fig. 9 extension).
+    """
+
+    name: str
+    primary: str
+    spares: tuple[str, ...]
+    failover: PhaseType | None = None
+
+    def __init__(
+        self,
+        name: str,
+        primary: str,
+        spares: Sequence[str] | str,
+        failover: PhaseType | None = None,
+    ) -> None:
+        if not name:
+            raise ModelError("a spare management unit needs a non-empty name")
+        if isinstance(spares, str):
+            spares = (spares,)
+        if not spares:
+            raise ModelError(f"SMU {name}: needs at least one spare component")
+        if primary in spares:
+            raise ModelError(f"SMU {name}: the primary cannot be its own spare")
+        if len(set(spares)) != len(spares):
+            raise ModelError(f"SMU {name}: duplicate spare names")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "primary", primary)
+        object.__setattr__(self, "spares", tuple(spares))
+        object.__setattr__(self, "failover", failover)
+        if failover is not None:
+            starting = [p for p in failover.initial if p > 0]
+            if len(starting) != 1:
+                raise ModelError(
+                    f"SMU {name}: the failover distribution must start in a single phase"
+                )
+
+    @property
+    def components(self) -> tuple[str, ...]:
+        """All components the unit touches (primary first)."""
+        return (self.primary, *self.spares)
+
+
+__all__ = ["SpareManagementUnit"]

@@ -1,0 +1,13 @@
+"""The textual Arcade syntax of Section 3.5: parser and serialiser."""
+
+from .parser import parse_distribution, parse_model, parse_number
+from .serializer import serialize_component, serialize_distribution, serialize_model
+
+__all__ = [
+    "parse_distribution",
+    "parse_model",
+    "parse_number",
+    "serialize_component",
+    "serialize_distribution",
+    "serialize_model",
+]

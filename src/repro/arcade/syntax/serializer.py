@@ -1,0 +1,99 @@
+"""Serialiser: writes an :class:`ArcadeModel` back in the textual syntax.
+
+Round-tripping (``parse_model(serialize_model(m))``) is exercised by the
+test suite; the serialiser is also handy for generating human-readable
+listings of programmatically built models (the case studies, for instance).
+"""
+
+from __future__ import annotations
+
+from ...distributions import PhaseType
+from ...errors import ModelError
+from ..component import BasicComponent
+from ..model import ArcadeModel
+from ..operational_modes import OMGroupKind
+from ..repair_unit import RepairStrategy
+
+
+def serialize_distribution(distribution: PhaseType) -> str:
+    """Render a distribution in the textual syntax (``exp(...)``/``erlang(...)``)."""
+    name = distribution.name
+    if name.startswith("exp(") or name.startswith("erlang("):
+        return name
+    raise ModelError(
+        f"distribution {distribution.describe()!r} has no textual form; "
+        "only exponential and Erlang distributions can be serialised"
+    )
+
+
+def serialize_component(component: BasicComponent) -> str:
+    """Render one ``COMPONENT`` block."""
+    lines = [f"COMPONENT: {component.name}"]
+    if component.operational_modes:
+        groups = ", ".join(
+            "(" + ", ".join(group.modes) + ")" for group in component.operational_modes
+        )
+        lines.append(f"OPERATIONAL MODES: {groups}")
+        for group in component.operational_modes:
+            if group.kind is OMGroupKind.ON_OFF:
+                lines.append(f"ON-TO-OFF: {group.triggers[0]}")
+            elif group.kind is OMGroupKind.ACCESSIBLE_INACCESSIBLE:
+                lines.append(f"ACCESSIBLE-TO-INACCESSIBLE: {group.triggers[0]}")
+                lines.append(
+                    "INACCESSIBLE MEANS DOWN: "
+                    + ("YES" if component.inaccessible_means_down else "NO")
+                )
+            elif group.kind is OMGroupKind.NORMAL_DEGRADED:
+                lines.append(
+                    "NORMAL-TO-DEGRADED: "
+                    + ", ".join(str(trigger) for trigger in group.triggers)
+                )
+    ttf = ", ".join(
+        serialize_distribution(distribution) if distribution is not None else "none"
+        for distribution in component.time_to_failures
+    )
+    lines.append(f"TIME-TO-FAILURES: {ttf}")
+    if component.num_failure_modes > 1:
+        lines.append(
+            "FAILURE MODE PROBABILITIES: "
+            + ", ".join(f"{p:g}" for p in component.failure_mode_probabilities)
+        )
+    if component.time_to_repairs:
+        repairs = [serialize_distribution(d) for d in component.time_to_repairs]
+        if component.time_to_repair_df is not None:
+            repairs.append(serialize_distribution(component.time_to_repair_df))
+        lines.append("TIME-TO-REPAIRS: " + ", ".join(repairs))
+    if component.destructive_fdep is not None:
+        lines.append(f"DESTRUCTIVE FDEP: {component.destructive_fdep}")
+    return "\n".join(lines)
+
+
+def serialize_model(model: ArcadeModel) -> str:
+    """Render a complete model in the textual Arcade syntax."""
+    blocks = [serialize_component(component) for component in model.components.values()]
+    for unit in model.spare_units.values():
+        lines = [f"SMU: {unit.name}", "COMPONENTS: " + ", ".join(unit.components)]
+        if unit.failover is not None:
+            lines.append(f"FAILOVER-TIME: {serialize_distribution(unit.failover)}")
+        blocks.append("\n".join(lines))
+    strategy_names = {
+        RepairStrategy.DEDICATED: "Dedicated",
+        RepairStrategy.FCFS: "FCFS",
+        RepairStrategy.PRIORITY_NON_PREEMPTIVE: "PNP",
+        RepairStrategy.PRIORITY_PREEMPTIVE: "PP",
+    }
+    for unit in model.repair_units.values():
+        lines = [
+            f"REPAIR UNIT: {unit.name}",
+            "COMPONENTS: " + ", ".join(unit.components),
+            f"STRATEGY: {strategy_names[unit.strategy]}",
+        ]
+        if unit.priorities:
+            lines.append("PRIORITIES: " + ", ".join(str(value) for value in unit.priorities))
+        blocks.append("\n".join(lines))
+    if model.system_down is not None:
+        blocks.append(f"SYSTEM DOWN: {model.system_down}")
+    return "\n\n".join(blocks) + "\n"
+
+
+__all__ = ["serialize_component", "serialize_distribution", "serialize_model"]

@@ -1,0 +1,17 @@
+"""Baselines and comparison points used in the evaluation (Table 1, ablations)."""
+
+from . import gspn
+from .dft import StaticFaultTreeAnalyzer
+from .flat import FlatCompositionResult, flat_compose
+from .gspn import DDSNetOptions, GSPN, build_dds_gspn, build_dds_san_ctmc
+
+__all__ = [
+    "DDSNetOptions",
+    "FlatCompositionResult",
+    "GSPN",
+    "StaticFaultTreeAnalyzer",
+    "build_dds_gspn",
+    "build_dds_san_ctmc",
+    "flat_compose",
+    "gspn",
+]

@@ -1,0 +1,207 @@
+"""Galileo-style static fault-tree reliability analysis (no repair).
+
+Table 1 of the paper cross-checks the DDS reliability with the Galileo
+dynamic-fault-tree tool [1]; as the paper notes (footnote 11), a DFT suffices
+there because no repair is considered, and without repair the DDS is in fact
+a *static* fault tree.  Galileo is not openly available, so this module
+provides the equivalent computation: the exact probability that the
+``SYSTEM DOWN`` expression holds at the mission time, assuming
+
+* no component is ever repaired,
+* components fail independently (no destructive functional dependencies and
+  no load sharing — the module refuses models that violate this), and
+* a component with several failure modes picks mode ``i`` with its declared
+  probability when it fails.
+
+For tree-structured expressions (each component referenced by one branch
+only) the evaluation is purely structural; components shared between
+branches are handled exactly by conditioning on their joint state as long as
+there are not too many of them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..arcade.expressions import And, Expression, KOutOfN, Literal, Or
+from ..arcade.model import ArcadeModel
+from ..arcade.operational_modes import OMGroupKind
+from ..errors import AnalysisError, ModelError
+
+#: Maximum number of shared components handled by exact conditioning.
+MAX_SHARED_COMPONENTS = 16
+
+
+@dataclass(frozen=True)
+class ComponentFailureProbabilities:
+    """Probability of each failure mode of one component at the mission time."""
+
+    component: str
+    by_mode: dict[str, float]
+
+    @property
+    def any_mode(self) -> float:
+        return sum(self.by_mode.values())
+
+
+class StaticFaultTreeAnalyzer:
+    """Exact no-repair reliability of an Arcade model (the "Galileo" column)."""
+
+    def __init__(self, model: ArcadeModel) -> None:
+        if model.system_down is None:
+            raise ModelError(f"{model.name}: no SYSTEM DOWN expression")
+        self.model = model
+        self._check_static()
+
+    def _check_static(self) -> None:
+        for name, component in self.model.components.items():
+            if component.destructive_fdep is not None:
+                raise AnalysisError(
+                    f"{name}: destructive functional dependencies make the fault tree "
+                    "dynamic; the static analyser does not apply"
+                )
+            for group in component.operational_modes:
+                if group.kind is not OMGroupKind.ACTIVE_INACTIVE and group.triggers:
+                    raise AnalysisError(
+                        f"{name}: expression-driven operational modes introduce "
+                        "dependencies between components; the static analyser does not apply"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # component-level probabilities
+    # ------------------------------------------------------------------ #
+    def failure_probabilities(
+        self, component_name: str, mission_time: float
+    ) -> ComponentFailureProbabilities:
+        """Mode-wise failure probability of one component by ``mission_time``.
+
+        Spares with an active/inactive group are treated as *hot* spares
+        (they fail at their inactive-state rate while dormant), matching the
+        Arcade model of the DDS spare processor.
+        """
+        component = self.model.component(component_name)
+        distribution = component.time_to_failure_of(0)
+        if distribution is None:
+            total = 0.0
+        else:
+            total = distribution.cdf(mission_time)
+        by_mode = {
+            f"m{index + 1}": probability * total
+            for index, probability in enumerate(component.failure_mode_probabilities)
+        }
+        return ComponentFailureProbabilities(component_name, by_mode)
+
+    # ------------------------------------------------------------------ #
+    # system-level probabilities
+    # ------------------------------------------------------------------ #
+    def unreliability(self, mission_time: float) -> float:
+        """Probability that the SYSTEM DOWN expression holds at ``mission_time``."""
+        assert self.model.system_down is not None
+        expression = self.model.system_down
+        return self._probability(expression, mission_time)
+
+    def reliability(self, mission_time: float) -> float:
+        """Probability of no system failure by ``mission_time``."""
+        return 1.0 - self.unreliability(mission_time)
+
+    def _probability(self, expression: Expression, mission_time: float) -> float:
+        shared = _shared_components(expression)
+        if not shared:
+            return self._structural(expression, mission_time, fixed={})
+        if len(shared) > MAX_SHARED_COMPONENTS:
+            raise AnalysisError(
+                f"{len(shared)} components are shared between branches; exact "
+                "conditioning is limited to "
+                f"{MAX_SHARED_COMPONENTS}"
+            )
+        # Condition on the failure state of every shared component.
+        total = 0.0
+        probabilities = {
+            name: self.failure_probabilities(name, mission_time) for name in sorted(shared)
+        }
+        outcomes_per_component = [
+            [(None, 1.0 - probabilities[name].any_mode)]
+            + [(mode, value) for mode, value in probabilities[name].by_mode.items()]
+            for name in sorted(shared)
+        ]
+        for combination in itertools.product(*outcomes_per_component):
+            weight = 1.0
+            fixed: dict[str, str | None] = {}
+            for name, (mode, probability) in zip(sorted(shared), combination):
+                weight *= probability
+                fixed[name] = mode
+            if weight == 0.0:
+                continue
+            total += weight * self._structural(expression, mission_time, fixed=fixed)
+        return total
+
+    def _structural(
+        self, expression: Expression, mission_time: float, *, fixed: dict[str, str | None]
+    ) -> float:
+        if isinstance(expression, Literal):
+            if expression.component in fixed:
+                mode = fixed[expression.component]
+                if mode is None:
+                    return 0.0
+                if expression.mode is None or expression.mode == mode:
+                    return 1.0
+                return 0.0
+            probabilities = self.failure_probabilities(expression.component, mission_time)
+            if expression.mode is None:
+                return probabilities.any_mode
+            return probabilities.by_mode.get(expression.mode, 0.0)
+        if isinstance(expression, And):
+            result = 1.0
+            for child in expression.children:
+                result *= self._structural(child, mission_time, fixed=fixed)
+            return result
+        if isinstance(expression, Or):
+            survive = 1.0
+            for child in expression.children:
+                survive *= 1.0 - self._structural(child, mission_time, fixed=fixed)
+            return 1.0 - survive
+        if isinstance(expression, KOutOfN):
+            values = [
+                self._structural(child, mission_time, fixed=fixed)
+                for child in expression.children
+            ]
+            return _at_least_k(expression.k, values)
+        raise AnalysisError(f"unknown expression node {expression!r}")
+
+
+def _shared_components(expression: Expression) -> set[str]:
+    """Components that occur in more than one branch of the expression tree."""
+    shared: set[str] = set()
+
+    def walk(node: Expression) -> set[str]:
+        if isinstance(node, Literal):
+            return {node.component}
+        seen: set[str] = set()
+        for child in getattr(node, "children", ()):  # And / Or / KOutOfN
+            child_components = walk(child)
+            shared.update(seen & child_components)
+            seen |= child_components
+        return seen
+
+    walk(expression)
+    return shared
+
+
+def _at_least_k(k: int, probabilities: list[float]) -> float:
+    """Probability that at least ``k`` independent events occur."""
+    counts = [1.0] + [0.0] * len(probabilities)
+    for probability in probabilities:
+        for already in range(len(probabilities), 0, -1):
+            counts[already] = (
+                counts[already] * (1 - probability) + counts[already - 1] * probability
+            )
+        counts[0] *= 1 - probability
+    return sum(counts[k:])
+
+
+__all__ = [
+    "ComponentFailureProbabilities",
+    "MAX_SHARED_COMPONENTS",
+    "StaticFaultTreeAnalyzer",
+]

@@ -1,0 +1,19 @@
+"""GSPN substrate and the SAN-style flat model of the DDS (Table 1 baseline)."""
+
+from .dds_net import DDSNetOptions, build_dds_gspn, build_dds_san_ctmc, dds_system_down
+from .net import GSPN, Marking, Place, RateFunction, Transition
+from .reachability import reachable_markings, to_ctmc
+
+__all__ = [
+    "DDSNetOptions",
+    "GSPN",
+    "Marking",
+    "Place",
+    "RateFunction",
+    "Transition",
+    "build_dds_gspn",
+    "build_dds_san_ctmc",
+    "dds_system_down",
+    "reachable_markings",
+    "to_ctmc",
+]

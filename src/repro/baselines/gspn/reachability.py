@@ -1,0 +1,142 @@
+"""Reachability analysis of GSPNs and conversion to labelled CTMCs.
+
+Tangible markings (no immediate transition enabled) become CTMC states;
+vanishing markings (at least one immediate transition enabled) are eliminated
+on the fly by distributing their incoming probability over the tangible
+markings they reach, weighting competing immediate transitions by their
+weights.  This is the standard GSPN solution recipe and mirrors what
+UltraSAN/Möbius do for the SAN models of [19].
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...ctmc import CTMC
+from ...errors import AnalysisError
+from .net import GSPN, Marking
+
+#: Guard against nets whose reachability graph grows without bound.
+DEFAULT_MARKING_LIMIT = 2_000_000
+
+
+def reachable_markings(net: GSPN, *, limit: int = DEFAULT_MARKING_LIMIT) -> list[Marking]:
+    """All reachable markings (tangible and vanishing), in discovery order."""
+    initial = net.initial_marking()
+    seen: dict[Marking, int] = {initial: 0}
+    order = [initial]
+    frontier = [initial]
+    while frontier:
+        marking = frontier.pop()
+        immediates = [
+            transition
+            for transition in net.transitions
+            if transition.immediate and net.is_enabled(transition, marking)
+        ]
+        candidates = immediates or [
+            transition
+            for transition in net.transitions
+            if not transition.immediate and net.is_enabled(transition, marking)
+        ]
+        for transition in candidates:
+            successor = net.fire(transition, marking)
+            if successor not in seen:
+                if len(seen) >= limit:
+                    raise AnalysisError(
+                        f"{net.name}: more than {limit} reachable markings; "
+                        "increase the limit or fold the net"
+                    )
+                seen[successor] = len(order)
+                order.append(successor)
+                frontier.append(successor)
+    return order
+
+
+def to_ctmc(
+    net: GSPN,
+    label_of_marking: Callable[[dict[str, int]], set[str]] | None = None,
+    *,
+    limit: int = DEFAULT_MARKING_LIMIT,
+) -> CTMC:
+    """Convert the net's reachability graph into a labelled CTMC.
+
+    ``label_of_marking`` receives each tangible marking (as a place -> tokens
+    mapping) and returns its atomic propositions, e.g. ``{"down"}``.
+    """
+    markings = reachable_markings(net, limit=limit)
+    is_vanishing: list[bool] = []
+    for marking in markings:
+        vanishing = any(
+            transition.immediate and net.is_enabled(transition, marking)
+            for transition in net.transitions
+        )
+        is_vanishing.append(vanishing)
+    index_of = {marking: index for index, marking in enumerate(markings)}
+
+    tangible = [index for index, vanishing in enumerate(is_vanishing) if not vanishing]
+    tangible_position = {index: position for position, index in enumerate(tangible)}
+
+    resolution_cache: dict[int, dict[int, float]] = {}
+
+    def resolve(index: int, trail: frozenset[int] = frozenset()) -> dict[int, float]:
+        """Distribution over tangible markings reached from ``index`` in zero time."""
+        if not is_vanishing[index]:
+            return {index: 1.0}
+        cached = resolution_cache.get(index)
+        if cached is not None:
+            return cached
+        if index in trail:
+            raise AnalysisError(f"{net.name}: cycle of immediate transitions detected")
+        marking = markings[index]
+        enabled = [
+            transition
+            for transition in net.transitions
+            if transition.immediate and net.is_enabled(transition, marking)
+        ]
+        total_weight = sum(transition.weight for transition in enabled)
+        combined: dict[int, float] = {}
+        for transition in enabled:
+            successor = index_of[net.fire(transition, marking)]
+            for target, probability in resolve(successor, trail | {index}).items():
+                share = transition.weight / total_weight * probability
+                combined[target] = combined.get(target, 0.0) + share
+        resolution_cache[index] = combined
+        return combined
+
+    transitions: list[tuple[int, float, int]] = []
+    for index in tangible:
+        marking = markings[index]
+        source = tangible_position[index]
+        for transition in net.transitions:
+            if transition.immediate or not net.is_enabled(transition, marking):
+                continue
+            rate = net.rate_of(transition, marking)
+            if rate <= 0:
+                continue
+            successor = index_of[net.fire(transition, marking)]
+            for target, probability in resolve(successor).items():
+                transitions.append((source, rate * probability, tangible_position[target]))
+
+    initial_index = 0
+    initial_distribution = resolve(initial_index)
+    if len(initial_distribution) == 1:
+        initial: int | list[float] = tangible_position[next(iter(initial_distribution))]
+    else:
+        vector = [0.0] * len(tangible)
+        for target, probability in initial_distribution.items():
+            vector[tangible_position[target]] = probability
+        initial = vector
+
+    labels = {}
+    names = []
+    for position, index in enumerate(tangible):
+        as_dict = net.marking_as_dict(markings[index])
+        names.append(",".join(f"{place}:{count}" for place, count in as_dict.items() if count))
+        if label_of_marking is not None:
+            props = label_of_marking(as_dict)
+            if props:
+                labels[position] = frozenset(props)
+    return CTMC(len(tangible), transitions, initial, labels, names)
+
+
+__all__ = ["DEFAULT_MARKING_LIMIT", "reachable_markings", "to_ctmc"]

@@ -1,0 +1,41 @@
+"""The paper's case studies (Section 5) and parametric benchmark workloads."""
+
+from . import dds, rcs, workloads
+from .dds import (
+    DDSParameters,
+    build_dds_evaluator,
+    build_dds_model,
+    build_dds_modular_evaluator,
+)
+from .rcs import (
+    RCSParameters,
+    build_heat_exchange_evaluator,
+    build_pump_evaluator,
+    build_rcs_model,
+    build_rcs_modular_evaluator,
+)
+from .workloads import (
+    fdep_chain_model,
+    redundant_array_model,
+    series_of_parallel_groups,
+    series_of_parallel_model,
+)
+
+__all__ = [
+    "DDSParameters",
+    "RCSParameters",
+    "build_dds_evaluator",
+    "build_dds_model",
+    "build_dds_modular_evaluator",
+    "build_heat_exchange_evaluator",
+    "build_pump_evaluator",
+    "build_rcs_model",
+    "build_rcs_modular_evaluator",
+    "dds",
+    "fdep_chain_model",
+    "rcs",
+    "redundant_array_model",
+    "series_of_parallel_groups",
+    "series_of_parallel_model",
+    "workloads",
+]

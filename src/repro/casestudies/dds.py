@@ -1,0 +1,312 @@
+"""The Distributed Database System (DDS) case study (Section 5.1).
+
+The system consists of two processors (one of which is a cold-standby-style
+spare managed by an SMU), four disk controllers split into two sets, and 24
+hard disks in six clusters of four.  The processors share one FCFS repair
+unit; every controller set and every disk cluster has its own FCFS repair
+unit.  The system is down when (1) both processors are down, or (2) some
+controller set has no operational controller, or (3) more than one disk in a
+cluster is down.
+
+Rates (per hour): processor and controller failures ``1/2000``, disk
+failures ``1/6000``, every repair ``1``; the mission time of Table 1 is five
+weeks (840 hours).
+
+The module provides both the paper's instance and a parametric generator
+(used by the scaling benchmarks), the hierarchical composition order for the
+compositional-aggregation pipeline, and a modular decomposition into
+independent subsystems that serves as a fast cross-check of Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import ArcadeEvaluator, ModularEvaluator
+from ..arcade import (
+    ArcadeModel,
+    BasicComponent,
+    RepairStrategy,
+    RepairUnit,
+    SpareManagementUnit,
+    down,
+    k_of_n,
+    spare_group,
+)
+from ..arcade.expressions import And, Expression, Literal, Or
+from ..arcade.semantics import TranslatedModel
+from ..composer import CompositionOrder, hierarchical_order
+from ..distributions import Exponential
+
+#: Failure rate of processors and disk controllers (per hour).
+PROCESSOR_FAILURE_RATE = 1.0 / 2000.0
+#: Failure rate of hard disks (per hour).
+DISK_FAILURE_RATE = 1.0 / 6000.0
+#: Repair rate of every component (per hour).
+REPAIR_RATE = 1.0
+#: Mission time of Table 1: five weeks, in hours.
+MISSION_TIME_HOURS = 5.0 * 7.0 * 24.0
+
+
+@dataclass(frozen=True)
+class DDSParameters:
+    """Configuration of the (parametric) distributed database system."""
+
+    num_controller_sets: int = 2
+    controllers_per_set: int = 2
+    num_clusters: int = 6
+    disks_per_cluster: int = 4
+    disks_down_for_cluster_failure: int = 2
+    processor_failure_rate: float = PROCESSOR_FAILURE_RATE
+    disk_failure_rate: float = DISK_FAILURE_RATE
+    repair_rate: float = REPAIR_RATE
+
+
+def controller_name(set_index: int, position: int, parameters: DDSParameters) -> str:
+    """Name of the ``position``-th controller of controller set ``set_index``."""
+    return f"dc_{set_index * parameters.controllers_per_set + position + 1}"
+
+
+def disk_name(cluster_index: int, position: int, parameters: DDSParameters) -> str:
+    """Name of the ``position``-th disk of cluster ``cluster_index``."""
+    return f"d_{cluster_index * parameters.disks_per_cluster + position + 1}"
+
+
+def build_dds_model(parameters: DDSParameters | None = None) -> ArcadeModel:
+    """Build the Arcade model of the distributed database system."""
+    p = parameters or DDSParameters()
+    model = ArcadeModel(name="distributed_database_system")
+
+    # Processors: a primary and a spare managed by an SMU, shared FCFS repair.
+    model.add_component(
+        BasicComponent(
+            "pp",
+            time_to_failures=Exponential(p.processor_failure_rate),
+            time_to_repairs=Exponential(p.repair_rate),
+        )
+    )
+    model.add_component(
+        BasicComponent(
+            "ps",
+            operational_modes=[spare_group()],
+            time_to_failures=[
+                Exponential(p.processor_failure_rate),  # inactive
+                Exponential(p.processor_failure_rate),  # active
+            ],
+            time_to_repairs=Exponential(p.repair_rate),
+        )
+    )
+    model.add_spare_unit(SpareManagementUnit("p_smu", primary="pp", spares=["ps"]))
+    model.add_repair_unit(RepairUnit("p_rep", ["pp", "ps"], RepairStrategy.FCFS))
+
+    # Disk controllers, grouped into sets; one FCFS repair unit per set.
+    for set_index in range(p.num_controller_sets):
+        names = []
+        for position in range(p.controllers_per_set):
+            name = controller_name(set_index, position, p)
+            names.append(name)
+            model.add_component(
+                BasicComponent(
+                    name,
+                    time_to_failures=Exponential(p.processor_failure_rate),
+                    time_to_repairs=Exponential(p.repair_rate),
+                )
+            )
+        model.add_repair_unit(
+            RepairUnit(f"cs_rep_{set_index + 1}", names, RepairStrategy.FCFS)
+        )
+
+    # Disks, grouped into clusters; one FCFS repair unit per cluster.
+    for cluster_index in range(p.num_clusters):
+        names = []
+        for position in range(p.disks_per_cluster):
+            name = disk_name(cluster_index, position, p)
+            names.append(name)
+            model.add_component(
+                BasicComponent(
+                    name,
+                    time_to_failures=Exponential(p.disk_failure_rate),
+                    time_to_repairs=Exponential(p.repair_rate),
+                )
+            )
+        model.add_repair_unit(
+            RepairUnit(f"cluster_rep_{cluster_index + 1}", names, RepairStrategy.FCFS)
+        )
+
+    model.set_system_down(system_down_expression(p))
+    return model
+
+
+def system_down_expression(parameters: DDSParameters | None = None) -> Expression:
+    """The SYSTEM DOWN fault tree of Section 5.1.1."""
+    p = parameters or DDSParameters()
+    children: list[Expression] = [And([down("pp"), down("ps")])]
+    for set_index in range(p.num_controller_sets):
+        children.append(
+            And(
+                [
+                    down(controller_name(set_index, position, p))
+                    for position in range(p.controllers_per_set)
+                ]
+            )
+        )
+    for cluster_index in range(p.num_clusters):
+        children.append(
+            k_of_n(
+                p.disks_down_for_cluster_failure,
+                [
+                    down(disk_name(cluster_index, position, p))
+                    for position in range(p.disks_per_cluster)
+                ],
+            )
+        )
+    return Or(children)
+
+
+def dds_subsystem_groups(parameters: DDSParameters | None = None) -> list[list[str]]:
+    """The subsystem decomposition used for the composition order."""
+    p = parameters or DDSParameters()
+    groups: list[list[str]] = [["pp", "ps", "p_smu", "p_rep"]]
+    for set_index in range(p.num_controller_sets):
+        groups.append(
+            [
+                controller_name(set_index, position, p)
+                for position in range(p.controllers_per_set)
+            ]
+            + [f"cs_rep_{set_index + 1}"]
+        )
+    for cluster_index in range(p.num_clusters):
+        groups.append(
+            [disk_name(cluster_index, position, p) for position in range(p.disks_per_cluster)]
+            + [f"cluster_rep_{cluster_index + 1}"]
+        )
+    return groups
+
+
+def dds_composition_order(
+    translated: TranslatedModel, parameters: DDSParameters | None = None
+) -> CompositionOrder:
+    """Hierarchical composition order for the (possibly parametric) DDS."""
+    groups = dds_subsystem_groups(parameters)
+    present = set(translated.blocks)
+    filtered = [[name for name in group if name in present] for group in groups]
+    return hierarchical_order(translated, [group for group in filtered if group])
+
+
+def build_dds_evaluator(
+    parameters: DDSParameters | None = None, *, reduction: str = "strong"
+) -> ArcadeEvaluator:
+    """Evaluator for the full compositional-aggregation pipeline on the DDS."""
+    model = build_dds_model(parameters)
+    evaluator = ArcadeEvaluator(model, reduction=reduction)
+    evaluator_order = dds_composition_order(evaluator.translated, parameters)
+    evaluator.order = evaluator_order
+    return evaluator
+
+
+def build_dds_subsystem_models(
+    parameters: DDSParameters | None = None,
+) -> tuple[dict[str, ArcadeModel], Expression]:
+    """Decompose the DDS into independent subsystems for modular evaluation.
+
+    The processor pair, each controller set and each disk cluster share no
+    components or repair units, so evaluating them separately and combining
+    the results through the top-level OR is exact.  This provides a fast
+    cross-check of the Table 1 numbers that does not rely on the full
+    compositional pipeline.
+    """
+    p = parameters or DDSParameters()
+    subsystems: dict[str, ArcadeModel] = {}
+
+    processors = ArcadeModel(name="dds_processors")
+    processors.add_component(
+        BasicComponent(
+            "pp",
+            time_to_failures=Exponential(p.processor_failure_rate),
+            time_to_repairs=Exponential(p.repair_rate),
+        )
+    )
+    processors.add_component(
+        BasicComponent(
+            "ps",
+            operational_modes=[spare_group()],
+            time_to_failures=[
+                Exponential(p.processor_failure_rate),
+                Exponential(p.processor_failure_rate),
+            ],
+            time_to_repairs=Exponential(p.repair_rate),
+        )
+    )
+    processors.add_spare_unit(SpareManagementUnit("p_smu", primary="pp", spares=["ps"]))
+    processors.add_repair_unit(RepairUnit("p_rep", ["pp", "ps"], RepairStrategy.FCFS))
+    processors.set_system_down(And([down("pp"), down("ps")]))
+    subsystems["processors"] = processors
+
+    for set_index in range(p.num_controller_sets):
+        subsystem = ArcadeModel(name=f"dds_controller_set_{set_index + 1}")
+        names = []
+        for position in range(p.controllers_per_set):
+            name = controller_name(set_index, position, p)
+            names.append(name)
+            subsystem.add_component(
+                BasicComponent(
+                    name,
+                    time_to_failures=Exponential(p.processor_failure_rate),
+                    time_to_repairs=Exponential(p.repair_rate),
+                )
+            )
+        subsystem.add_repair_unit(
+            RepairUnit(f"cs_rep_{set_index + 1}", names, RepairStrategy.FCFS)
+        )
+        subsystem.set_system_down(And([down(name) for name in names]))
+        subsystems[f"controller_set_{set_index + 1}"] = subsystem
+
+    for cluster_index in range(p.num_clusters):
+        subsystem = ArcadeModel(name=f"dds_cluster_{cluster_index + 1}")
+        names = []
+        for position in range(p.disks_per_cluster):
+            name = disk_name(cluster_index, position, p)
+            names.append(name)
+            subsystem.add_component(
+                BasicComponent(
+                    name,
+                    time_to_failures=Exponential(p.disk_failure_rate),
+                    time_to_repairs=Exponential(p.repair_rate),
+                )
+            )
+        subsystem.add_repair_unit(
+            RepairUnit(f"cluster_rep_{cluster_index + 1}", names, RepairStrategy.FCFS)
+        )
+        subsystem.set_system_down(
+            k_of_n(p.disks_down_for_cluster_failure, [down(name) for name in names])
+        )
+        subsystems[f"cluster_{cluster_index + 1}"] = subsystem
+
+    system_down = Or([Literal(name, None) for name in subsystems])
+    return subsystems, system_down
+
+
+def build_dds_modular_evaluator(
+    parameters: DDSParameters | None = None, *, reduction: str = "strong"
+) -> ModularEvaluator:
+    """Modular evaluator over the independent DDS subsystems."""
+    subsystems, system_down = build_dds_subsystem_models(parameters)
+    return ModularEvaluator(subsystems, system_down, reduction=reduction)
+
+
+__all__ = [
+    "DDSParameters",
+    "DISK_FAILURE_RATE",
+    "MISSION_TIME_HOURS",
+    "PROCESSOR_FAILURE_RATE",
+    "REPAIR_RATE",
+    "build_dds_evaluator",
+    "build_dds_model",
+    "build_dds_modular_evaluator",
+    "build_dds_subsystem_models",
+    "controller_name",
+    "dds_composition_order",
+    "dds_subsystem_groups",
+    "disk_name",
+    "system_down_expression",
+]

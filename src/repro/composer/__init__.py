@@ -1,0 +1,21 @@
+"""Compositional aggregation: composing and reducing the block I/O-IMCs."""
+
+from .composer import (
+    ComposedSystem,
+    CompositionOrder,
+    CompositionStatistics,
+    CompositionStep,
+    Composer,
+    compose_model,
+)
+from .ordering import hierarchical_order
+
+__all__ = [
+    "ComposedSystem",
+    "CompositionOrder",
+    "CompositionStatistics",
+    "CompositionStep",
+    "Composer",
+    "compose_model",
+    "hierarchical_order",
+]

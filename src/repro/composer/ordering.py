@@ -1,0 +1,128 @@
+"""Composition-order helpers.
+
+"The order in which the I/O-IMC models are composed is given by the user"
+(Section 4 of the paper) — and choosing it well is what makes compositional
+aggregation effective.  This module turns a *subsystem decomposition* (an
+ordered list of groups of basic blocks, e.g. "the processors", "controller
+set 1", "disk cluster 3", ...) into a full nested composition order:
+
+* the blocks of each group are composed together first,
+* every fault-tree gate is scheduled at the earliest point of the chain at
+  which all of the blocks it (transitively) observes have been composed, so
+  its signals can be hidden immediately, and
+* the groups are chained left-deep, so that each step adds one small
+  subsystem to the accumulated composite instead of multiplying two large
+  halves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..arcade.semantics import TranslatedModel
+from ..errors import CompositionError
+from .composer import CompositionOrder
+
+
+def hierarchical_order(
+    translated: TranslatedModel, leaf_groups: Sequence[Sequence[str]]
+) -> CompositionOrder:
+    """Build a nested composition order from a subsystem decomposition.
+
+    Parameters
+    ----------
+    translated:
+        The translated model (provides the block signatures and gate list).
+    leaf_groups:
+        Ordered groups of *non-gate* block names (components, repair units,
+        spare management units).  Together the groups must cover every
+        non-gate block exactly once; the fault-tree gates created by the
+        translator are inserted automatically.
+    """
+    blocks = translated.blocks
+    gate_names = set(translated.gates)
+    non_gate_blocks = [name for name in blocks if name not in gate_names]
+
+    covered: set[str] = set()
+    for group in leaf_groups:
+        for name in group:
+            if name not in blocks:
+                raise CompositionError(f"unknown block {name!r} in subsystem decomposition")
+            if name in gate_names:
+                raise CompositionError(
+                    f"{name!r} is a fault-tree gate; gates are scheduled automatically"
+                )
+            if name in covered:
+                raise CompositionError(f"block {name!r} appears in two subsystems")
+            covered.add(name)
+    missing = set(non_gate_blocks) - covered
+    if missing:
+        raise CompositionError(
+            f"subsystem decomposition does not cover block(s) {sorted(missing)}"
+        )
+
+    emitter_of: dict[str, str] = {}
+    for name, block in blocks.items():
+        for action in block.signature.outputs:
+            emitter_of[action] = name
+
+    def direct_dependencies(gate: str) -> set[str]:
+        return {
+            emitter_of[action]
+            for action in blocks[gate].signature.inputs
+            if action in emitter_of
+        }
+
+    leaf_dependencies: dict[str, set[str]] = {}
+
+    def leaves_of(gate: str, trail: tuple[str, ...] = ()) -> set[str]:
+        if gate in leaf_dependencies:
+            return leaf_dependencies[gate]
+        if gate in trail:
+            raise CompositionError(f"cyclic gate dependency through {gate!r}")
+        leaves: set[str] = set()
+        for dependency in direct_dependencies(gate):
+            if dependency in gate_names:
+                leaves |= leaves_of(dependency, trail + (gate,))
+            else:
+                leaves.add(dependency)
+        leaf_dependencies[gate] = leaves
+        return leaves
+
+    # Every gate is scheduled at the earliest point at which all the blocks it
+    # observes (transitively) have been composed.  Gates whose leaves all lie
+    # inside a single subsystem become part of that subsystem's *nested* group
+    # (so the subsystem is composed and reduced on its own before it is joined
+    # to the accumulated composite); gates spanning several subsystems are
+    # placed at the join.
+    cumulative: set[str] = set()
+    unassigned = set(gate_names)
+    order: CompositionOrder | None = None
+    for group in leaf_groups:
+        group_set = set(group)
+        cumulative |= group_set
+        inner_gates = sorted(
+            (gate for gate in unassigned if leaves_of(gate) <= group_set),
+            key=lambda gate: (len(leaves_of(gate)), gate),
+        )
+        unassigned -= set(inner_gates)
+        join_gates = sorted(
+            (gate for gate in unassigned if leaves_of(gate) <= cumulative),
+            key=lambda gate: (len(leaves_of(gate)), gate),
+        )
+        unassigned -= set(join_gates)
+        subgroup: list = list(group) + inner_gates
+        if order is None:
+            order = subgroup + join_gates
+        else:
+            nested = subgroup[0] if len(subgroup) == 1 else subgroup
+            order = [order, nested, *join_gates]
+    if unassigned:
+        raise CompositionError(
+            f"gates {sorted(unassigned)} observe blocks outside the decomposition"
+        )
+    assert order is not None
+    return order
+
+
+__all__ = ["hierarchical_order"]

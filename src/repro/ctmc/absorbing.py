@@ -1,0 +1,100 @@
+"""Reliability-oriented analysis on absorbing CTMCs.
+
+Reliability questions ("what is the probability that the system has not
+failed by time t?") are answered on a variant of the chain in which every
+failure state is made absorbing: once the set of ``down`` states is entered
+the chain never leaves it, so the probability of being in a ``down`` state at
+time ``t`` equals the probability of having failed at some point before
+``t`` (the *unreliability*).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from ..errors import AnalysisError
+from .ctmc import CTMC
+from .transient import transient_distribution
+
+
+def make_absorbing(ctmc: CTMC, states: list[int] | set[int]) -> CTMC:
+    """Copy of ``ctmc`` with all transitions leaving ``states`` removed."""
+    absorbing = set(states)
+    transitions = [
+        (source, rate, target)
+        for source, rate, target in ctmc.transitions()
+        if source not in absorbing
+    ]
+    return CTMC(
+        ctmc.num_states,
+        transitions,
+        ctmc.initial_distribution,
+        ctmc.labels,
+        ctmc.state_names,
+    )
+
+
+def unreliability(ctmc: CTMC, time: float, *, down_label: str = "down") -> float:
+    """Probability that the chain reaches a ``down`` state within ``time``."""
+    down_states = ctmc.states_with_label(down_label)
+    if not down_states:
+        return 0.0
+    absorbing_chain = make_absorbing(ctmc, down_states)
+    distribution = transient_distribution(absorbing_chain, time)
+    return float(distribution[down_states].sum())
+
+
+def reliability(ctmc: CTMC, time: float, *, down_label: str = "down") -> float:
+    """Probability of no system failure within ``time`` (1 - unreliability)."""
+    return 1.0 - unreliability(ctmc, time, down_label=down_label)
+
+
+def mean_time_to_failure(ctmc: CTMC, *, down_label: str = "down") -> float:
+    """Expected time until the first visit to a ``down`` state.
+
+    Computed by solving the linear system ``(-Q_TT) m = 1`` on the transient
+    (non-``down``) states, where ``Q_TT`` is the generator restricted to those
+    states.  Returns ``inf`` when a ``down`` state is unreachable.
+    """
+    down_states = set(ctmc.states_with_label(down_label))
+    if not down_states:
+        return float("inf")
+    transient = [state for state in range(ctmc.num_states) if state not in down_states]
+    if not transient:
+        return 0.0
+    index = {state: position for position, state in enumerate(transient)}
+    size = len(transient)
+    rows, cols, data = [], [], []
+    exit_to_anywhere = np.zeros(size)
+    reaches_down = np.zeros(size, dtype=bool)
+    for source, rate, target in ctmc.transitions():
+        if source not in index:
+            continue
+        position = index[source]
+        exit_to_anywhere[position] += rate
+        if target in index:
+            rows.append(position)
+            cols.append(index[target])
+            data.append(rate)
+        else:
+            reaches_down[position] = True
+    if not reaches_down.any():
+        return float("inf")
+    negative_q = sparse.csr_matrix(
+        (np.negative(data), (rows, cols)), shape=(size, size)
+    ).tolil() if data else sparse.lil_matrix((size, size))
+    for position in range(size):
+        negative_q[position, position] += exit_to_anywhere[position]
+    try:
+        times = sparse_linalg.spsolve(negative_q.tocsc(), np.ones(size))
+    except RuntimeError as error:  # pragma: no cover - singular system
+        raise AnalysisError(f"MTTF system could not be solved: {error}") from error
+    times = np.asarray(times, dtype=float).reshape(size)
+    if np.any(~np.isfinite(times)) or np.any(times < -1e-9):
+        return float("inf")
+    return float(ctmc.initial_distribution[transient] @ times)
+
+
+__all__ = ["make_absorbing", "unreliability", "reliability", "mean_time_to_failure"]

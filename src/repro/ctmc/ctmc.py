@@ -1,0 +1,172 @@
+"""Labelled continuous-time Markov chains.
+
+The final step of the Arcade evaluation pipeline (Section 4 of the paper)
+converts the fully composed and aggregated I/O-IMC into a labelled CTMC, on
+which standard solution techniques compute availability and reliability.
+This module holds the CTMC data structure; the numerical algorithms live in
+the sibling modules ``steady_state``, ``transient`` and ``absorbing``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import ModelError
+
+
+class CTMC:
+    """A finite labelled continuous-time Markov chain.
+
+    Parameters
+    ----------
+    num_states:
+        Number of states (states are ``0 .. num_states - 1``).
+    transitions:
+        Iterable of ``(source, rate, target)`` triples with positive rates.
+        Parallel transitions between the same pair of states are summed.
+    initial:
+        Either a single initial state index or a full initial probability
+        vector of length ``num_states``.
+    labels:
+        Mapping from state index to a set of atomic propositions.
+    state_names:
+        Optional human readable state names.
+    """
+
+    def __init__(
+        self,
+        num_states: int,
+        transitions: Iterable[tuple[int, float, int]],
+        initial: int | Sequence[float] = 0,
+        labels: Mapping[int, frozenset[str]] | None = None,
+        state_names: Sequence[str] | None = None,
+    ) -> None:
+        if num_states <= 0:
+            raise ModelError("a CTMC needs at least one state")
+        self.num_states = num_states
+        rates: dict[tuple[int, int], float] = {}
+        for source, rate, target in transitions:
+            if rate <= 0:
+                raise ModelError(f"transition rate must be positive, got {rate}")
+            if not (0 <= source < num_states and 0 <= target < num_states):
+                raise ModelError("transition endpoint out of range")
+            if source == target:
+                # A rate back into the same state has no effect on the
+                # stochastic behaviour of a CTMC; drop it.
+                continue
+            rates[(source, target)] = rates.get((source, target), 0.0) + rate
+        self._rates = rates
+        if isinstance(initial, (int, np.integer)):
+            if not 0 <= int(initial) < num_states:
+                raise ModelError(f"initial state {initial} out of range")
+            distribution = np.zeros(num_states)
+            distribution[int(initial)] = 1.0
+        else:
+            distribution = np.asarray(initial, dtype=float)
+            if distribution.shape != (num_states,):
+                raise ModelError("initial distribution has the wrong length")
+            if np.any(distribution < -1e-12) or abs(distribution.sum() - 1.0) > 1e-9:
+                raise ModelError("initial distribution must be a probability vector")
+        self.initial_distribution = distribution
+        self.labels: dict[int, frozenset[str]] = {
+            state: frozenset(props) for state, props in (labels or {}).items() if props
+        }
+        self.state_names = list(state_names) if state_names is not None else None
+        if self.state_names is not None and len(self.state_names) != num_states:
+            raise ModelError("need exactly one state name per state")
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    def label_of(self, state: int) -> frozenset[str]:
+        """Atomic propositions of ``state``."""
+        return self.labels.get(state, frozenset())
+
+    def states_with_label(self, label: str) -> list[int]:
+        """All states carrying the atomic proposition ``label``."""
+        return [state for state in range(self.num_states) if label in self.label_of(state)]
+
+    def state_name(self, state: int) -> str:
+        """Human readable name of ``state``."""
+        if self.state_names is not None:
+            return self.state_names[state]
+        return f"s{state}"
+
+    @property
+    def num_transitions(self) -> int:
+        """Number of (source, target) pairs with positive rate."""
+        return len(self._rates)
+
+    def transitions(self) -> Iterable[tuple[int, float, int]]:
+        """Iterate over ``(source, rate, target)`` triples."""
+        for (source, target), rate in self._rates.items():
+            yield source, rate, target
+
+    def exit_rate(self, state: int) -> float:
+        """Total rate leaving ``state``."""
+        return sum(rate for (source, _), rate in self._rates.items() if source == state)
+
+    def rate_matrix(self) -> sparse.csr_matrix:
+        """Sparse matrix ``R`` with ``R[i, j]`` = rate from ``i`` to ``j``."""
+        if not self._rates:
+            return sparse.csr_matrix((self.num_states, self.num_states))
+        rows, cols, data = [], [], []
+        for (source, target), rate in self._rates.items():
+            rows.append(source)
+            cols.append(target)
+            data.append(rate)
+        return sparse.csr_matrix(
+            (data, (rows, cols)), shape=(self.num_states, self.num_states)
+        )
+
+    def generator_matrix(self) -> sparse.csr_matrix:
+        """Infinitesimal generator ``Q = R - diag(exit rates)``."""
+        rate_matrix = self.rate_matrix().tolil()
+        exit_rates = np.asarray(rate_matrix.sum(axis=1)).flatten()
+        for state in range(self.num_states):
+            rate_matrix[state, state] -= exit_rates[state]
+        return rate_matrix.tocsr()
+
+    def uniformization_rate(self) -> float:
+        """A uniformisation constant (strictly larger than every exit rate)."""
+        rate_matrix = self.rate_matrix()
+        exit_rates = np.asarray(rate_matrix.sum(axis=1)).flatten()
+        maximum = float(exit_rates.max()) if self.num_states else 0.0
+        return maximum * 1.02 + 1e-12
+
+    def absorbing_states(self) -> list[int]:
+        """States without outgoing transitions."""
+        has_exit = set(source for source, _ in self._rates)
+        return [state for state in range(self.num_states) if state not in has_exit]
+
+    def restricted_to(self, states: Sequence[int]) -> "CTMC":
+        """Sub-chain induced by ``states`` (transitions leaving the set are dropped)."""
+        index = {old: new for new, old in enumerate(states)}
+        transitions = [
+            (index[source], rate, index[target])
+            for (source, target), rate in self._rates.items()
+            if source in index and target in index
+        ]
+        initial = np.array([self.initial_distribution[old] for old in states])
+        total = initial.sum()
+        if total <= 0:
+            initial = np.zeros(len(states))
+            initial[0] = 1.0
+        else:
+            initial = initial / total
+        labels = {index[old]: self.label_of(old) for old in states if self.label_of(old)}
+        names = [self.state_name(old) for old in states] if self.state_names else None
+        return CTMC(len(states), transitions, initial, labels, names)
+
+    def summary(self) -> dict[str, int]:
+        """Size statistics used by the benchmarks."""
+        return {"states": self.num_states, "transitions": self.num_transitions}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CTMC(states={self.num_states}, transitions={self.num_transitions})"
+
+
+__all__ = ["CTMC"]

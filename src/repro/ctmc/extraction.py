@@ -1,0 +1,124 @@
+"""Conversion of a closed I/O-IMC into a labelled CTMC.
+
+This is the third step of the evaluation approach of Section 4: once the
+composer has produced a single I/O-IMC for the whole system and every signal
+has been hidden, the model contains only internal (tau) and Markovian
+transitions.  Under the maximal-progress assumption the internal transitions
+are taken in zero time, so the model is equivalent to a CTMC over its
+*tangible* states (states without urgent transitions):
+
+1. Markovian transitions of unstable states are removed (maximal progress);
+2. every vanishing (unstable) state is replaced by the tangible state its
+   tau-transitions lead to — the models produced by the Arcade translation
+   are *confluent*, i.e. all maximal tau-paths from a vanishing state end in
+   the same tangible state, which is verified here;
+3. only the labels of the tangible states are kept: vanishing states are
+   occupied for zero time, so their atomic propositions cannot contribute to
+   any (time-based) measure.  In Arcade models the system-failure condition
+   can never hold *only* during a vanishing instant (repairs take positive
+   time), so no failure information is lost.
+"""
+
+from __future__ import annotations
+
+from ..errors import NondeterminismError
+from ..ioimc import IOIMC
+from ..ioimc.actions import ActionKind
+from ..lumping.reductions import maximal_progress_cut
+from .ctmc import CTMC
+
+
+def extract_ctmc(automaton: IOIMC, *, on_nondeterminism: str = "error") -> CTMC:
+    """Convert a closed I/O-IMC into a labelled CTMC.
+
+    Parameters
+    ----------
+    automaton:
+        The fully composed I/O-IMC.  It must be *closed*: no input actions may
+        remain and every output should have been hidden.  Remaining outputs
+        are tolerated and treated like internal actions (they cannot
+        synchronise with anything anymore).
+    on_nondeterminism:
+        ``"error"`` (default) raises :class:`NondeterminismError` when a
+        vanishing state can reach two different tangible states via internal
+        moves; ``"uniform"`` resolves the choice uniformly at random instead
+        (and is reported in the CTMC's construction notes).
+    """
+    if automaton.signature.inputs:
+        raise NondeterminismError(
+            "the I/O-IMC still has input actions "
+            f"{sorted(automaton.signature.inputs)}; it is not a closed system"
+        )
+    automaton = maximal_progress_cut(automaton)
+
+    urgent_successors: list[list[int]] = [[] for _ in automaton.states()]
+    for state in automaton.states():
+        for action, target in automaton.interactive[state]:
+            kind = automaton.signature.kind_of(action)
+            if kind is ActionKind.INPUT:
+                continue
+            urgent_successors[state].append(target)
+    tangible = [state for state in automaton.states() if not urgent_successors[state]]
+    tangible_index = {state: position for position, state in enumerate(tangible)}
+
+    # Resolve every state to the distribution over tangible states reached by
+    # exhausting urgent transitions.  With confluence this is a single state.
+    resolution: dict[int, dict[int, float]] = {}
+
+    def resolve(state: int) -> dict[int, float]:
+        cached = resolution.get(state)
+        if cached is not None:
+            return cached
+        resolution[state] = {}  # guard against tau-cycles
+        if not urgent_successors[state]:
+            result = {state: 1.0}
+        else:
+            targets = urgent_successors[state]
+            combined: dict[int, float] = {}
+            per_branch = 1.0 / len(targets)
+            reachable_tangibles: set[int] = set()
+            for target in targets:
+                for tangible_state, weight in resolve(target).items():
+                    combined[tangible_state] = (
+                        combined.get(tangible_state, 0.0) + per_branch * weight
+                    )
+                    reachable_tangibles.add(tangible_state)
+            if len(reachable_tangibles) > 1:
+                if on_nondeterminism == "error":
+                    names = [automaton.state_name(s) for s in sorted(reachable_tangibles)]
+                    raise NondeterminismError(
+                        f"vanishing state {automaton.state_name(state)} can reach "
+                        f"{len(reachable_tangibles)} different tangible states "
+                        f"({', '.join(names[:5])}...); the model is not confluent"
+                    )
+            result = combined
+        resolution[state] = result
+        return result
+
+    transitions: list[tuple[int, float, int]] = []
+    for state in tangible:
+        source = tangible_index[state]
+        for rate, target in automaton.markovian[state]:
+            for tangible_target, weight in resolve(target).items():
+                transitions.append((source, rate * weight, tangible_index[tangible_target]))
+
+    initial_resolution = resolve(automaton.initial)
+    if len(initial_resolution) == 1:
+        initial: int | list[float] = tangible_index[next(iter(initial_resolution))]
+    else:
+        vector = [0.0] * len(tangible)
+        for tangible_state, weight in initial_resolution.items():
+            vector[tangible_index[tangible_state]] = weight
+        initial = vector
+
+    labels = {}
+    for state in tangible:
+        props = automaton.label_of(state)
+        if props:
+            labels[tangible_index[state]] = frozenset(props)
+    names = [automaton.state_name(state) for state in tangible]
+    ctmc = CTMC(len(tangible), transitions, initial, labels, names)
+    return ctmc
+
+
+__all__ = ["extract_ctmc"]

@@ -1,0 +1,89 @@
+"""Ordinary lumping of labelled CTMCs.
+
+After the compositional aggregation has produced the final CTMC, one more
+ordinary-lumpability pass (respecting the ``down`` labelling) can shrink the
+chain further without changing any availability or reliability measure.  Two
+states may be merged when they carry the same labels and have the same
+cumulative rate into every block of the partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lumping.partition import Partition
+from .ctmc import CTMC
+
+
+@dataclass(frozen=True)
+class CTMCLumpingResult:
+    """Quotient chain plus the block index of every original state."""
+
+    quotient: CTMC
+    block_of_state: tuple[int, ...]
+
+
+def lumping_partition(ctmc: CTMC, *, respect_labels: bool = True) -> Partition:
+    """Coarsest ordinary-lumpability partition of ``ctmc``."""
+    if respect_labels:
+        keys = [ctmc.label_of(state) for state in range(ctmc.num_states)]
+    else:
+        keys = [frozenset() for _ in range(ctmc.num_states)]
+    partition = Partition.from_keys(keys)
+
+    successors: list[list[tuple[float, int]]] = [[] for _ in range(ctmc.num_states)]
+    for source, rate, target in ctmc.transitions():
+        successors[source].append((rate, target))
+
+    def signature(state: int) -> tuple:
+        rates: dict[int, float] = {}
+        for rate, target in successors[state]:
+            block = partition.block_of[target]
+            rates[block] = rates.get(block, 0.0) + rate
+        return tuple(sorted((block, float(f"{rate:.9e}")) for block, rate in rates.items()))
+
+    while partition.refine(signature):
+        pass
+    return partition
+
+
+def lump(ctmc: CTMC, *, respect_labels: bool = True) -> CTMCLumpingResult:
+    """Lump ``ctmc`` into its ordinary-lumpability quotient."""
+    partition = lumping_partition(ctmc, respect_labels=respect_labels)
+    block_of = partition.block_of
+    num_blocks = partition.num_blocks
+
+    representative: list[int | None] = [None] * num_blocks
+    for state in range(ctmc.num_states):
+        block = block_of[state]
+        if representative[block] is None:
+            representative[block] = state
+
+    by_source: list[list[tuple[float, int]]] = [[] for _ in range(ctmc.num_states)]
+    for source, rate, target in ctmc.transitions():
+        by_source[source].append((rate, target))
+
+    transitions: list[tuple[int, float, int]] = []
+    for block, state in enumerate(representative):
+        assert state is not None
+        rates: dict[int, float] = {}
+        for rate, target in by_source[state]:
+            rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate
+        for target_block, rate in rates.items():
+            if target_block != block:
+                transitions.append((block, rate, target_block))
+
+    initial = [0.0] * num_blocks
+    for state, probability in enumerate(ctmc.initial_distribution):
+        initial[block_of[state]] += float(probability)
+    labels = {}
+    for state in range(ctmc.num_states):
+        props = ctmc.label_of(state)
+        if props:
+            labels[block_of[state]] = labels.get(block_of[state], frozenset()) | props
+    names = [ctmc.state_name(state) for state in representative if state is not None]
+    quotient = CTMC(num_blocks, transitions, initial, labels, names)
+    return CTMCLumpingResult(quotient=quotient, block_of_state=tuple(block_of))
+
+
+__all__ = ["CTMCLumpingResult", "lump", "lumping_partition"]

@@ -1,0 +1,5 @@
+"""Phase-type distributions used for times to failure and repair."""
+
+from .phase_type import Erlang, Exponential, HyperExponential, PhaseType
+
+__all__ = ["Erlang", "Exponential", "HyperExponential", "PhaseType"]

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the Arcade reproduction library.
+
+All library-specific errors derive from :class:`ArcadeError` so that callers
+can catch any library failure with a single ``except`` clause while still
+being able to distinguish the individual failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ArcadeError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class ModelError(ArcadeError):
+    """An Arcade model (or one of its building blocks) is ill-formed."""
+
+
+class SignatureError(ArcadeError):
+    """Two I/O-IMCs have incompatible action signatures.
+
+    Raised, for instance, when two I/O-IMCs that are being composed both
+    declare the same action as an output (outputs must be under the control
+    of exactly one component).
+    """
+
+
+class InputEnablednessError(ArcadeError):
+    """An I/O-IMC is not input-enabled in some state."""
+
+
+class NondeterminismError(ArcadeError):
+    """Internal nondeterminism could not be resolved confluently.
+
+    The conversion of a closed I/O-IMC into a CTMC requires that all internal
+    (tau) transitions are confluent, i.e. every maximal tau-path from a state
+    leads to the same tangible state.  Arcade models are confluent by
+    construction; this error signals a modelling mistake (or an unsupported
+    construct) rather than a numerical problem.
+    """
+
+
+class CompositionError(ArcadeError):
+    """Parallel composition failed (incompatible models or bad ordering)."""
+
+
+class AnalysisError(ArcadeError):
+    """A numerical analysis step (steady state, transient, ...) failed."""
+
+
+class SyntaxParseError(ArcadeError):
+    """The textual Arcade syntax could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)

@@ -1,0 +1,33 @@
+"""Input/Output Interactive Markov Chains: the semantic substrate of Arcade.
+
+This package provides the I/O-IMC formalism of Section 2 of the paper:
+
+* :class:`~repro.ioimc.ioimc.IOIMC` — the transition-system data structure,
+* :class:`~repro.ioimc.actions.Signature` — input/output/internal action sets,
+* :func:`~repro.ioimc.composition.compose` — the parallel composition ``||``,
+* :func:`~repro.ioimc.hiding.hide` — the hiding operator,
+* :class:`~repro.ioimc.builder.IOIMCBuilder` — a named-state construction aid.
+"""
+
+from .actions import TAU, ActionKind, Signature
+from .builder import IOIMCBuilder
+from .composition import compose, compose_many
+from .hiding import hide, hide_all_outputs
+from .ioimc import InteractiveTransition, IOIMC, MarkovianTransition
+from .visualization import to_dot, to_text
+
+__all__ = [
+    "TAU",
+    "ActionKind",
+    "Signature",
+    "IOIMC",
+    "IOIMCBuilder",
+    "InteractiveTransition",
+    "MarkovianTransition",
+    "compose",
+    "compose_many",
+    "hide",
+    "hide_all_outputs",
+    "to_dot",
+    "to_text",
+]

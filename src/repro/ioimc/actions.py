@@ -1,0 +1,150 @@
+"""Actions and action signatures of Input/Output Interactive Markov Chains.
+
+An I/O-IMC distinguishes three kinds of interactive actions (Section 2 of the
+paper):
+
+* *input* actions (written ``a?``) are controlled by the environment and may
+  be delayed,
+* *output* actions (written ``a!``) are controlled by the I/O-IMC itself and
+  cannot be delayed,
+* *internal* actions (written ``a;``) are invisible to the environment and
+  cannot be delayed.
+
+The :class:`Signature` groups the action names of one I/O-IMC into these
+three disjoint sets and knows how to combine two signatures under parallel
+composition.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SignatureError
+
+
+class ActionKind(enum.Enum):
+    """Kind of an interactive action."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INTERNAL = "internal"
+
+    def decorate(self, name: str) -> str:
+        """Return the paper's decorated notation (``a?``, ``a!``, ``a;``)."""
+        suffix = {"input": "?", "output": "!", "internal": ";"}[self.value]
+        return f"{name}{suffix}"
+
+
+#: Name used for anonymous internal (tau) actions created by hiding.
+TAU = "tau"
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Partition of the visible/internal action names of one I/O-IMC."""
+
+    inputs: frozenset[str]
+    outputs: frozenset[str]
+    internals: frozenset[str]
+
+    def __post_init__(self) -> None:
+        overlap = (
+            (self.inputs & self.outputs)
+            | (self.inputs & self.internals)
+            | (self.outputs & self.internals)
+        )
+        if overlap:
+            raise SignatureError(
+                f"actions {sorted(overlap)} appear in more than one class of the signature"
+            )
+
+    @staticmethod
+    def create(
+        inputs: set[str] | frozenset[str] | None = None,
+        outputs: set[str] | frozenset[str] | None = None,
+        internals: set[str] | frozenset[str] | None = None,
+    ) -> "Signature":
+        """Build a signature from plain (possibly missing) sets."""
+        return Signature(
+            frozenset(inputs or ()),
+            frozenset(outputs or ()),
+            frozenset(internals or ()),
+        )
+
+    @property
+    def visible(self) -> frozenset[str]:
+        """All externally visible action names (inputs and outputs)."""
+        return self.inputs | self.outputs
+
+    @property
+    def all_actions(self) -> frozenset[str]:
+        """Every action name known to this signature."""
+        return self.inputs | self.outputs | self.internals
+
+    def kind_of(self, action: str) -> ActionKind:
+        """Return the kind of ``action`` within this signature."""
+        if action in self.inputs:
+            return ActionKind.INPUT
+        if action in self.outputs:
+            return ActionKind.OUTPUT
+        if action in self.internals:
+            return ActionKind.INTERNAL
+        raise KeyError(f"action {action!r} is not part of the signature")
+
+    def is_compatible(self, other: "Signature") -> bool:
+        """Check whether two I/O-IMCs may be composed in parallel.
+
+        Following I/O automata, two signatures are compatible when their
+        output sets are disjoint and the internal actions of one do not occur
+        in the signature of the other (the anonymous ``tau`` action is exempt,
+        see :meth:`incompatibility_reason`).
+        """
+        return self.incompatibility_reason(other) is None
+
+    def incompatibility_reason(self, other: "Signature") -> str | None:
+        """Human readable reason why ``self`` and ``other`` are incompatible.
+
+        The anonymous internal action :data:`TAU` is exempt from the
+        "internal actions must be fresh" requirement: hiding renames hidden
+        outputs to ``tau`` and internal actions never synchronise, so two
+        components may both own ``tau`` transitions without ambiguity.
+        """
+        shared_outputs = self.outputs & other.outputs
+        if shared_outputs:
+            return f"both I/O-IMCs control output action(s) {sorted(shared_outputs)}"
+        own_internals = self.internals - {TAU}
+        other_internals = other.internals - {TAU}
+        leaked = (own_internals & other.all_actions) | (other_internals & self.all_actions)
+        if leaked:
+            return f"internal action(s) {sorted(leaked)} occur in both signatures"
+        return None
+
+    def compose(self, other: "Signature") -> "Signature":
+        """Signature of the parallel composition ``self || other``.
+
+        Outputs win over inputs: an action that is an output of one component
+        and an input of the other becomes an output of the composition (the
+        synchronisation of an output with an input is an output, Section 2).
+        """
+        reason = self.incompatibility_reason(other)
+        if reason is not None:
+            raise SignatureError(f"incompatible signatures: {reason}")
+        outputs = self.outputs | other.outputs
+        inputs = (self.inputs | other.inputs) - outputs
+        internals = self.internals | other.internals
+        return Signature(frozenset(inputs), frozenset(outputs), frozenset(internals))
+
+    def hide(self, actions: set[str] | frozenset[str]) -> "Signature":
+        """Signature after hiding ``actions`` (outputs become internal)."""
+        actions = frozenset(actions)
+        not_outputs = actions - self.outputs
+        if not_outputs:
+            raise SignatureError(
+                f"only output actions can be hidden; {sorted(not_outputs)} are not outputs"
+            )
+        return Signature(
+            self.inputs,
+            self.outputs - actions,
+            self.internals | actions,
+        )

@@ -1,0 +1,70 @@
+"""The hiding operator for I/O-IMCs.
+
+``hide A in P`` (Section 2 of the paper) turns the output actions in the set
+``A`` into internal actions, so that no further synchronisation over them is
+possible.  In the compositional aggregation pipeline an action is hidden as
+soon as every component that listens to it has been composed in — this is
+what makes the subsequent minimisation step effective.
+
+Hidden actions are renamed to the anonymous internal action ``tau``: internal
+actions are unobservable, so their identity is irrelevant for every measure
+computed downstream, and a single anonymous name lets the minimisation merge
+states that only differ in the *name* of a hidden signal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .actions import TAU, Signature
+from .ioimc import IOIMC
+
+
+def hide(automaton: IOIMC, actions: Iterable[str], *, rename_to_tau: bool = True) -> IOIMC:
+    """Return ``hide actions in automaton``.
+
+    Parameters
+    ----------
+    automaton:
+        The I/O-IMC to transform.
+    actions:
+        Output actions to hide.  Actions not present in the signature are
+        silently ignored (this keeps the composer's hiding schedule simple).
+    rename_to_tau:
+        When ``True`` (default) hidden actions are renamed to ``tau``.
+    """
+    to_hide = frozenset(actions) & automaton.signature.outputs
+    if not to_hide:
+        return automaton
+    hidden_signature = automaton.signature.hide(to_hide)
+    if rename_to_tau:
+        internals = (hidden_signature.internals - to_hide) | {TAU}
+        signature = Signature(hidden_signature.inputs, hidden_signature.outputs, internals)
+        interactive = [
+            [
+                (TAU if action in to_hide else action, target)
+                for action, target in row
+            ]
+            for row in automaton.interactive
+        ]
+    else:
+        signature = hidden_signature
+        interactive = automaton.interactive
+    return IOIMC(
+        automaton.name,
+        signature,
+        automaton.num_states,
+        automaton.initial,
+        interactive,
+        automaton.markovian,
+        automaton.labels,
+        automaton.state_names,
+    )
+
+
+def hide_all_outputs(automaton: IOIMC) -> IOIMC:
+    """Hide every output action (used on the fully composed, closed system)."""
+    return hide(automaton, automaton.signature.outputs)
+
+
+__all__ = ["hide", "hide_all_outputs"]

@@ -1,0 +1,382 @@
+"""Core data structure for Input/Output Interactive Markov Chains.
+
+An I/O-IMC (Section 2 of the paper) is a transition system with two kinds of
+transitions:
+
+* *interactive* transitions, labelled with an action name whose kind (input,
+  output or internal) is determined by the automaton's :class:`Signature`;
+* *Markovian* transitions, labelled with a rate ``lambda`` of an exponential
+  delay.
+
+States are represented as integers ``0 .. num_states - 1``; an optional list
+of human readable state names can be attached for debugging and
+visualisation.  Each state may additionally carry a set of atomic
+propositions (*labels*) such as ``"down"`` — labels survive composition and
+minimisation and are used to identify system-failure states when the final
+model is converted into a labelled CTMC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..errors import InputEnablednessError, ModelError
+from .actions import ActionKind, Signature
+
+
+@dataclass(frozen=True)
+class InteractiveTransition:
+    """One interactive transition ``source --action--> target``."""
+
+    source: int
+    action: str
+    target: int
+
+
+@dataclass(frozen=True)
+class MarkovianTransition:
+    """One Markovian transition ``source --rate--> target``."""
+
+    source: int
+    rate: float
+    target: int
+
+
+class IOIMC:
+    """An Input/Output Interactive Markov Chain.
+
+    Parameters
+    ----------
+    name:
+        Human readable name of the automaton (used in diagnostics only).
+    signature:
+        Partition of the action names into inputs, outputs and internals.
+    num_states:
+        Number of states; states are the integers ``0 .. num_states - 1``.
+    initial:
+        Index of the initial state.
+    interactive:
+        For every state, a list of ``(action, target)`` pairs.
+    markovian:
+        For every state, a list of ``(rate, target)`` pairs.
+    labels:
+        Optional mapping from state index to a set of atomic propositions.
+    state_names:
+        Optional human readable state names (one per state).
+    """
+
+    __slots__ = (
+        "name",
+        "signature",
+        "num_states",
+        "initial",
+        "interactive",
+        "markovian",
+        "labels",
+        "state_names",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        signature: Signature,
+        num_states: int,
+        initial: int,
+        interactive: Sequence[Sequence[tuple[str, int]]],
+        markovian: Sequence[Sequence[tuple[float, int]]],
+        labels: Mapping[int, frozenset[str]] | None = None,
+        state_names: Sequence[str] | None = None,
+    ) -> None:
+        if num_states <= 0:
+            raise ModelError("an I/O-IMC needs at least one state")
+        if not 0 <= initial < num_states:
+            raise ModelError(f"initial state {initial} out of range 0..{num_states - 1}")
+        if len(interactive) != num_states or len(markovian) != num_states:
+            raise ModelError("transition tables must have exactly one entry per state")
+        self.name = name
+        self.signature = signature
+        self.num_states = num_states
+        self.initial = initial
+        self.interactive: list[list[tuple[str, int]]] = [list(row) for row in interactive]
+        self.markovian: list[list[tuple[float, int]]] = [list(row) for row in markovian]
+        self.labels: dict[int, frozenset[str]] = {
+            state: frozenset(props) for state, props in (labels or {}).items() if props
+        }
+        self.state_names = list(state_names) if state_names is not None else None
+        self._validate()
+
+    # ------------------------------------------------------------------ #
+    # validation
+    # ------------------------------------------------------------------ #
+    def _validate(self) -> None:
+        known = self.signature.all_actions
+        for state, row in enumerate(self.interactive):
+            for action, target in row:
+                if action not in known:
+                    raise ModelError(
+                        f"{self.name}: state {state} uses action {action!r} "
+                        "which is not declared in the signature"
+                    )
+                if not 0 <= target < self.num_states:
+                    raise ModelError(f"{self.name}: interactive target {target} out of range")
+        for state, row in enumerate(self.markovian):
+            for rate, target in row:
+                if rate <= 0:
+                    raise ModelError(
+                        f"{self.name}: state {state} has a non-positive Markovian rate {rate}"
+                    )
+                if not 0 <= target < self.num_states:
+                    raise ModelError(f"{self.name}: Markovian target {target} out of range")
+        for state in self.labels:
+            if not 0 <= state < self.num_states:
+                raise ModelError(f"{self.name}: label attached to unknown state {state}")
+        if self.state_names is not None and len(self.state_names) != self.num_states:
+            raise ModelError(f"{self.name}: need exactly one state name per state")
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    def states(self) -> range:
+        """Iterate over all state indices."""
+        return range(self.num_states)
+
+    def state_name(self, state: int) -> str:
+        """Human readable name of ``state`` (falls back to the index)."""
+        if self.state_names is not None:
+            return self.state_names[state]
+        return f"s{state}"
+
+    def label_of(self, state: int) -> frozenset[str]:
+        """Atomic propositions attached to ``state``."""
+        return self.labels.get(state, frozenset())
+
+    def kind_of(self, action: str) -> ActionKind:
+        """Kind of ``action`` in this automaton's signature."""
+        return self.signature.kind_of(action)
+
+    def interactive_successors(self, state: int, action: str) -> list[int]:
+        """Targets of all ``action`` transitions leaving ``state``."""
+        return [target for act, target in self.interactive[state] if act == action]
+
+    def enabled_actions(self, state: int) -> set[str]:
+        """All actions with at least one transition leaving ``state``."""
+        return {action for action, _ in self.interactive[state]}
+
+    def enabled_urgent_actions(self, state: int) -> set[str]:
+        """Output and internal actions enabled in ``state`` (cannot be delayed)."""
+        urgent = set()
+        for action, _ in self.interactive[state]:
+            if self.signature.kind_of(action) is not ActionKind.INPUT:
+                urgent.add(action)
+        return urgent
+
+    def is_stable(self, state: int) -> bool:
+        """A state is *stable* when no output or internal transition is enabled.
+
+        Only stable states may let time pass (maximal progress assumption);
+        Markovian transitions are therefore only meaningful in stable states.
+        """
+        return not self.enabled_urgent_actions(state)
+
+    def exit_rate(self, state: int) -> float:
+        """Sum of the Markovian rates leaving ``state``."""
+        return sum(rate for rate, _ in self.markovian[state])
+
+    def num_interactive_transitions(self) -> int:
+        """Total number of interactive transitions."""
+        return sum(len(row) for row in self.interactive)
+
+    def num_markovian_transitions(self) -> int:
+        """Total number of Markovian transitions."""
+        return sum(len(row) for row in self.markovian)
+
+    def num_transitions(self) -> int:
+        """Total number of transitions of either kind."""
+        return self.num_interactive_transitions() + self.num_markovian_transitions()
+
+    def iter_interactive(self) -> Iterator[InteractiveTransition]:
+        """Iterate over all interactive transitions."""
+        for source, row in enumerate(self.interactive):
+            for action, target in row:
+                yield InteractiveTransition(source, action, target)
+
+    def iter_markovian(self) -> Iterator[MarkovianTransition]:
+        """Iterate over all Markovian transitions."""
+        for source, row in enumerate(self.markovian):
+            for rate, target in row:
+                yield MarkovianTransition(source, rate, target)
+
+    # ------------------------------------------------------------------ #
+    # input enabledness
+    # ------------------------------------------------------------------ #
+    def missing_inputs(self, state: int) -> set[str]:
+        """Input actions for which ``state`` has no explicit transition."""
+        return set(self.signature.inputs) - self.enabled_actions(state)
+
+    def check_input_enabled(self) -> None:
+        """Raise :class:`InputEnablednessError` unless every state accepts every input."""
+        for state in self.states():
+            missing = self.missing_inputs(state)
+            if missing:
+                raise InputEnablednessError(
+                    f"{self.name}: state {self.state_name(state)} has no transition "
+                    f"for input action(s) {sorted(missing)}"
+                )
+
+    def ensure_input_enabled(self) -> "IOIMC":
+        """Return an equivalent I/O-IMC with explicit input self-loops added.
+
+        The paper omits these self-loops in figures "for the sake of clarity";
+        semantically a state without an explicit ``a?`` transition simply stays
+        put when ``a`` occurs.  This helper materialises that convention.
+        """
+        interactive = [list(row) for row in self.interactive]
+        changed = False
+        for state in self.states():
+            for action in self.missing_inputs(state):
+                interactive[state].append((action, state))
+                changed = True
+        if not changed:
+            return self
+        return IOIMC(
+            self.name,
+            self.signature,
+            self.num_states,
+            self.initial,
+            interactive,
+            self.markovian,
+            self.labels,
+            self.state_names,
+        )
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+    def relabel_states(self, mapping: Mapping[int, int], num_new_states: int) -> "IOIMC":
+        """Quotient/rename states according to ``mapping`` (old -> new index).
+
+        Interactive transitions of all merged states are unioned (duplicates
+        are dropped).  Markovian rates are taken from a single *representative*
+        state per block, with parallel rates into the same target block summed
+        — this is the quotient construction used by (bi)simulation lumping,
+        where all states of a block have, by definition, the same cumulative
+        rate into every other block.
+        """
+        interactive: list[set[tuple[str, int]]] = [set() for _ in range(num_new_states)]
+        markovian: list[dict[int, float] | None] = [None] * num_new_states
+        labels: dict[int, set[str]] = {}
+        names: list[str | None] = [None] * num_new_states
+        for old in self.states():
+            new = mapping[old]
+            for action, target in self.interactive[old]:
+                interactive[new].add((action, mapping[target]))
+            props = self.label_of(old)
+            if props:
+                labels.setdefault(new, set()).update(props)
+            if names[new] is None:
+                names[new] = self.state_name(old)
+            if markovian[new] is None:
+                rates: dict[int, float] = {}
+                for rate, target in self.markovian[old]:
+                    new_target = mapping[target]
+                    rates[new_target] = rates.get(new_target, 0.0) + rate
+                markovian[new] = rates
+        markovian_rows = [
+            [(rate, target) for target, rate in sorted((row or {}).items())]
+            for row in markovian
+        ]
+        return IOIMC(
+            self.name,
+            self.signature,
+            num_new_states,
+            mapping[self.initial],
+            [sorted(row) for row in interactive],
+            markovian_rows,
+            {state: frozenset(props) for state, props in labels.items()},
+            [name or f"s{index}" for index, name in enumerate(names)],
+        )
+
+    def restrict_to_reachable(self) -> "IOIMC":
+        """Drop states that are unreachable from the initial state."""
+        reachable = self.reachable_states()
+        if len(reachable) == self.num_states:
+            return self
+        order = sorted(reachable)
+        new_index = {old: new for new, old in enumerate(order)}
+        interactive = [
+            [(action, new_index[target]) for action, target in self.interactive[old]]
+            for old in order
+        ]
+        markovian = [
+            [(rate, new_index[target]) for rate, target in self.markovian[old]]
+            for old in order
+        ]
+        labels = {new_index[old]: self.label_of(old) for old in order if self.label_of(old)}
+        names = [self.state_name(old) for old in order] if self.state_names else None
+        return IOIMC(
+            self.name,
+            self.signature,
+            len(order),
+            new_index[self.initial],
+            interactive,
+            markovian,
+            labels,
+            names,
+        )
+
+    def reachable_states(self) -> set[int]:
+        """Set of states reachable from the initial state."""
+        seen = {self.initial}
+        stack = [self.initial]
+        while stack:
+            state = stack.pop()
+            for _, target in self.interactive[state]:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+            for _, target in self.markovian[state]:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return seen
+
+    def renamed(self, name: str) -> "IOIMC":
+        """Return a shallow copy carrying a different automaton name."""
+        return IOIMC(
+            name,
+            self.signature,
+            self.num_states,
+            self.initial,
+            self.interactive,
+            self.markovian,
+            self.labels,
+            self.state_names,
+        )
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IOIMC({self.name!r}, states={self.num_states}, "
+            f"interactive={self.num_interactive_transitions()}, "
+            f"markovian={self.num_markovian_transitions()})"
+        )
+
+    def summary(self) -> dict[str, int]:
+        """Size statistics used by the benchmarks."""
+        return {
+            "states": self.num_states,
+            "interactive_transitions": self.num_interactive_transitions(),
+            "markovian_transitions": self.num_markovian_transitions(),
+            "transitions": self.num_transitions(),
+        }
+
+
+def merge_label_sets(label_sets: Iterable[frozenset[str]]) -> frozenset[str]:
+    """Union of several label sets (helper shared by composition and lumping)."""
+    merged: set[str] = set()
+    for labels in label_sets:
+        merged.update(labels)
+    return frozenset(merged)

@@ -1,0 +1,33 @@
+"""State-space reduction: bisimulation lumping and structural reductions.
+
+This package plays the role of CADP's aggregation step in the paper's tool
+chain (Section 4): after every composition step the intermediate I/O-IMC is
+reduced so that the state-space explosion is kept in check.
+"""
+
+from .partition import Partition
+from .reductions import (
+    eliminate_vanishing_chains,
+    maximal_progress_cut,
+    prune_unreachable,
+)
+from .strong import (
+    LumpingResult,
+    minimize_strong,
+    quotient_by_partition,
+    strong_bisimulation_partition,
+)
+from .weak import minimize_weak, weak_bisimulation_partition
+
+__all__ = [
+    "Partition",
+    "LumpingResult",
+    "eliminate_vanishing_chains",
+    "maximal_progress_cut",
+    "prune_unreachable",
+    "minimize_strong",
+    "minimize_weak",
+    "quotient_by_partition",
+    "strong_bisimulation_partition",
+    "weak_bisimulation_partition",
+]

@@ -1,0 +1,143 @@
+"""Structural reductions applied between composition steps.
+
+Three reductions are used by the compositional-aggregation pipeline (the role
+played by CADP's minimisation in the paper's tool chain, Section 4):
+
+* :func:`maximal_progress_cut` — in a state with an enabled output or
+  internal transition, time cannot pass (outputs and internal actions cannot
+  be delayed), so its Markovian transitions can never fire and are removed.
+* :func:`eliminate_vanishing_chains` — a state whose only behaviour is a
+  single internal (tau) transition (apart from input self-loops) is occupied
+  for zero time and is collapsed into its successor.
+* :func:`prune_unreachable` — drop states unreachable from the initial state.
+
+All three preserve weak bisimilarity of the model within the contexts that
+arise from Arcade models (see DESIGN.md, "Key semantic decisions").
+"""
+
+from __future__ import annotations
+
+from ..ioimc import IOIMC
+from ..ioimc.actions import ActionKind
+
+
+def maximal_progress_cut(automaton: IOIMC) -> IOIMC:
+    """Remove Markovian transitions from unstable states.
+
+    A state is *unstable* when it enables an output or internal transition;
+    such transitions are urgent, hence no exponential delay can ever elapse in
+    the state.
+    """
+    changed = False
+    markovian: list[list[tuple[float, int]]] = []
+    for state in automaton.states():
+        if automaton.markovian[state] and not automaton.is_stable(state):
+            markovian.append([])
+            changed = True
+        else:
+            markovian.append(automaton.markovian[state])
+    if not changed:
+        return automaton
+    return IOIMC(
+        automaton.name,
+        automaton.signature,
+        automaton.num_states,
+        automaton.initial,
+        automaton.interactive,
+        markovian,
+        automaton.labels,
+        automaton.state_names,
+    )
+
+
+def eliminate_vanishing_chains(automaton: IOIMC) -> IOIMC:
+    """Collapse states whose only real behaviour is a single tau transition.
+
+    A state qualifies when its outgoing transitions consist of exactly one
+    internal transition (to some state ``t``), no Markovian transitions and no
+    interactive transitions other than pure input self-loops.  Such a state is
+    left immediately and unobservably, so it can be identified with ``t``.
+    Chains of such states are followed transitively; tau-cycles are left
+    untouched (they never occur in Arcade models but must not crash).
+
+    Labels of eliminated states are *not* transferred: a vanishing state is
+    occupied for zero time, so its atomic propositions never contribute to
+    any measure (and copying them onto the tangible successor would wrongly
+    mark, e.g., the fully repaired state as ``down`` just because the repair
+    announcements passed through a momentarily-failed configuration).
+    """
+    redirect: dict[int, int] = {}
+    for state in automaton.states():
+        if automaton.markovian[state]:
+            continue
+        internal_targets = []
+        only_self_loops = True
+        for action, target in automaton.interactive[state]:
+            kind = automaton.signature.kind_of(action)
+            if kind is ActionKind.INTERNAL:
+                internal_targets.append(target)
+            elif kind is ActionKind.INPUT and target == state:
+                continue
+            else:
+                only_self_loops = False
+                break
+        if only_self_loops and len(internal_targets) == 1 and internal_targets[0] != state:
+            redirect[state] = internal_targets[0]
+    if not redirect:
+        return automaton
+
+    def resolve(state: int) -> int:
+        seen = set()
+        while state in redirect and state not in seen:
+            seen.add(state)
+            state = redirect[state]
+        return state
+
+    resolved = {state: resolve(state) for state in automaton.states()}
+    # States on a tau-cycle resolve to themselves; treat them as kept.
+    kept = sorted({target for target in resolved.values()})
+    new_index = {old: new for new, old in enumerate(kept)}
+    mapping = {old: new_index[resolved[old]] for old in automaton.states()}
+
+    interactive: list[list[tuple[str, int]]] = [[] for _ in kept]
+    markovian: list[list[tuple[float, int]]] = [[] for _ in kept]
+    labels: dict[int, set[str]] = {}
+    names: list[str] = [automaton.state_name(old) for old in kept]
+    for old in kept:
+        props = automaton.label_of(old)
+        if props:
+            labels.setdefault(mapping[old], set()).update(props)
+    for old in kept:
+        new = mapping[old]
+        seen_interactive: set[tuple[str, int]] = set()
+        for action, target in automaton.interactive[old]:
+            entry = (action, mapping[target])
+            if entry not in seen_interactive:
+                seen_interactive.add(entry)
+                interactive[new].append(entry)
+        for rate, target in automaton.markovian[old]:
+            markovian[new].append((rate, mapping[target]))
+
+    reduced = IOIMC(
+        automaton.name,
+        automaton.signature,
+        len(kept),
+        mapping[automaton.initial],
+        interactive,
+        markovian,
+        {state: frozenset(props) for state, props in labels.items()},
+        names,
+    )
+    return reduced.restrict_to_reachable()
+
+
+def prune_unreachable(automaton: IOIMC) -> IOIMC:
+    """Drop states that cannot be reached from the initial state."""
+    return automaton.restrict_to_reachable()
+
+
+__all__ = [
+    "maximal_progress_cut",
+    "eliminate_vanishing_chains",
+    "prune_unreachable",
+]

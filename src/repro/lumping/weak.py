@@ -1,0 +1,176 @@
+"""Weak (tau-abstracting) bisimulation minimisation for I/O-IMCs.
+
+CADP's compositional aggregation reduces intermediate models modulo
+*branching/weak* bisimulation, which abstracts from internal (tau) steps.
+This module provides a partition-refinement implementation of a weak
+bisimulation for I/O-IMCs under the maximal-progress assumption:
+
+* states must carry the same atomic propositions;
+* a visible move ``s --a--> s'`` must be matched by a weak move
+  ``t ==tau*== a ==tau*==> t'`` into the same class;
+* a tau move must be matched by a (possibly empty) sequence of tau moves into
+  the same class;
+* stable states (no urgent transition enabled) must agree on the cumulative
+  Markovian rate into every class, and a state must be able to reach a stable
+  state by tau moves iff its partner can, ending in the same class.
+
+On tau-deterministic models — which is what the Arcade translation produces
+after :func:`~repro.lumping.reductions.maximal_progress_cut` — this partition
+coincides with weak IMC bisimulation.  The implementation favours clarity
+over asymptotic efficiency: the tau-closure is recomputed per refinement
+round, which is perfectly adequate for the intermediate models produced by
+the composer (thousands of states) but would not scale to millions.
+"""
+
+from __future__ import annotations
+
+from ..ioimc import IOIMC
+from ..ioimc.actions import ActionKind
+from .partition import Partition
+from .strong import LumpingResult
+
+
+def _tau_closure(automaton: IOIMC) -> list[set[int]]:
+    """For every state, the set of states reachable via zero or more tau steps."""
+    internal_successors: list[list[int]] = [[] for _ in automaton.states()]
+    for state in automaton.states():
+        for action, target in automaton.interactive[state]:
+            if automaton.signature.kind_of(action) is ActionKind.INTERNAL:
+                internal_successors[state].append(target)
+    closure: list[set[int]] = []
+    for state in automaton.states():
+        reached = {state}
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            for successor in internal_successors[current]:
+                if successor not in reached:
+                    reached.add(successor)
+                    stack.append(successor)
+        closure.append(reached)
+    return closure
+
+
+def weak_bisimulation_partition(
+    automaton: IOIMC, *, respect_labels: bool = True
+) -> Partition:
+    """Compute a weak-bisimulation partition of ``automaton``."""
+    closure = _tau_closure(automaton)
+    visible_kinds = (ActionKind.INPUT, ActionKind.OUTPUT)
+
+    if respect_labels:
+        initial_keys = [automaton.label_of(state) for state in automaton.states()]
+    else:
+        initial_keys = [frozenset() for _ in automaton.states()]
+    partition = Partition.from_keys(initial_keys)
+
+    def stable(state: int) -> bool:
+        return automaton.is_stable(state)
+
+    def signature(state: int) -> tuple:
+        # Weak visible moves: tau* a tau*
+        weak_moves: set[tuple[str, int]] = set()
+        for pre in closure[state]:
+            for action, target in automaton.interactive[pre]:
+                kind = automaton.signature.kind_of(action)
+                if kind not in visible_kinds:
+                    continue
+                for post in closure[target]:
+                    weak_moves.add((action, partition.block_of[post]))
+        # Weak tau moves: blocks reachable by tau*.
+        tau_blocks = frozenset(partition.block_of[post] for post in closure[state])
+        # Markovian behaviour of the stable states reachable by tau*.
+        stable_profiles: set[tuple] = set()
+        for post in closure[state]:
+            if not stable(post):
+                continue
+            rates: dict[int, float] = {}
+            for rate, target in automaton.markovian[post]:
+                # Markovian moves may be followed by tau steps before the next
+                # observable point; attribute the rate to the class of the
+                # state actually reached (tau-deterministic models reach a
+                # single class).
+                reached_blocks = sorted(
+                    {partition.block_of[landing] for landing in closure[target]}
+                )
+                block = reached_blocks[-1]
+                rates[block] = rates.get(block, 0.0) + rate
+            profile = tuple(
+                sorted((block, float(f"{rate:.9e}")) for block, rate in rates.items())
+            )
+            stable_profiles.add((partition.block_of[post], profile))
+        return (frozenset(weak_moves), tau_blocks, frozenset(stable_profiles))
+
+    while partition.refine(signature):
+        pass
+    return partition
+
+
+def minimize_weak(automaton: IOIMC, *, respect_labels: bool = True) -> LumpingResult:
+    """Minimise ``automaton`` modulo the weak bisimulation described above.
+
+    The quotient follows the branching-bisimulation recipe: internal moves
+    that stay inside an equivalence class are dropped, and the Markovian
+    behaviour of a class is taken from one of its *stable* members (a class
+    containing a stable state represents the tangible behaviour reached after
+    exhausting the class's internal moves).
+    """
+    partition = weak_bisimulation_partition(automaton, respect_labels=respect_labels)
+    quotient = _weak_quotient(automaton, partition)
+    return LumpingResult(quotient=quotient, block_of_state=tuple(partition.block_of))
+
+
+def _weak_quotient(automaton: IOIMC, partition) -> IOIMC:
+    """Branching-style quotient: drop intra-class taus, prefer stable representatives."""
+    block_of = partition.block_of
+    num_blocks = partition.num_blocks
+    representative: list[int | None] = [None] * num_blocks
+    for state in automaton.states():
+        block = block_of[state]
+        if representative[block] is None or (
+            automaton.is_stable(state)
+            and not automaton.is_stable(representative[block])  # type: ignore[arg-type]
+        ):
+            representative[block] = state
+
+    interactive: list[list[tuple[str, int]]] = [[] for _ in range(num_blocks)]
+    markovian: list[list[tuple[float, int]]] = [[] for _ in range(num_blocks)]
+    labels: dict[int, frozenset[str]] = {}
+    names: list[str] = []
+    for block, state in enumerate(representative):
+        assert state is not None
+        names.append(automaton.state_name(state))
+        props = automaton.label_of(state)
+        if props:
+            labels[block] = props
+        seen: set[tuple[str, int]] = set()
+        for action, target in automaton.interactive[state]:
+            target_block = block_of[target]
+            if (
+                automaton.signature.kind_of(action) is ActionKind.INTERNAL
+                and target_block == block
+            ):
+                continue
+            entry = (action, target_block)
+            if entry not in seen:
+                seen.add(entry)
+                interactive[block].append(entry)
+        rates: dict[int, float] = {}
+        for rate, target in automaton.markovian[state]:
+            rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate
+        markovian[block] = [(rate, target) for target, rate in sorted(rates.items())]
+
+    quotient = IOIMC(
+        automaton.name,
+        automaton.signature,
+        num_blocks,
+        block_of[automaton.initial],
+        interactive,
+        markovian,
+        labels,
+        names,
+    )
+    return quotient.restrict_to_reachable()
+
+
+__all__ = ["minimize_weak", "weak_bisimulation_partition"]

@@ -1,0 +1,5 @@
+"""Monte-Carlo discrete-event simulation of Arcade models (cross-check)."""
+
+from .engine import ArcadeSimulator, SimulationEstimate, SimulationTrace
+
+__all__ = ["ArcadeSimulator", "SimulationEstimate", "SimulationTrace"]

@@ -1,0 +1,284 @@
+"""Tests for the Arcade language objects: expressions, components, units, model."""
+
+import pytest
+
+from repro.arcade import (
+    ArcadeModel,
+    BasicComponent,
+    RepairStrategy,
+    RepairUnit,
+    SpareManagementUnit,
+    down,
+    k_of_n,
+    parse_expression,
+    spare_group,
+)
+from repro.arcade.expressions import And, KOutOfN, Literal, Or
+from repro.arcade.operational_modes import (
+    OMGroupKind,
+    OperationalModeGroup,
+    accessibility_group,
+    degradation_group,
+    on_off_group,
+)
+from repro.distributions import Erlang, Exponential, HyperExponential
+from repro.errors import ModelError, SyntaxParseError
+
+
+class TestExpressions:
+    def test_operator_overloading(self):
+        expression = down("a") & down("b") | down("c")
+        assert isinstance(expression, Or)
+        assert {literal.component for literal in expression.atoms()} == {"a", "b", "c"}
+
+    def test_parse_word_connectives(self):
+        expression = parse_expression("pp.down and ps.down or dc_1.down")
+        assert isinstance(expression, Or)
+
+    def test_parse_symbol_connectives(self):
+        expression = parse_expression(r"(pp.down /\ ps.down) \/ dc_1.down")
+        assert isinstance(expression, Or)
+        assert isinstance(expression.children[0], And)
+
+    def test_parse_mode_literal(self):
+        literal = parse_expression("valve.down.m2")
+        assert literal == Literal("valve", "m2")
+
+    def test_parse_voting(self):
+        expression = parse_expression("2of4(d_1.down, d_2.down, d_3.down, d_4.down)")
+        assert isinstance(expression, KOutOfN)
+        assert expression.k == 2
+
+    def test_voting_count_mismatch_rejected(self):
+        with pytest.raises(SyntaxParseError):
+            parse_expression("2of4(d_1.down, d_2.down)")
+
+    def test_precedence_and_binds_tighter(self):
+        expression = parse_expression("a.down or b.down and c.down")
+        assert isinstance(expression, Or)
+        assert isinstance(expression.children[1], And)
+
+    def test_bad_literal_rejected(self):
+        with pytest.raises(SyntaxParseError):
+            parse_expression("justaname")
+
+    def test_k_of_n_bounds(self):
+        with pytest.raises(ModelError):
+            k_of_n(5, [down("a"), down("b")])
+
+    def test_str_round_trip(self):
+        expression = Or([And([down("a"), down("b")]), k_of_n(2, [down("c"), down("d"), down("e")])])
+        assert parse_expression(str(expression)).__class__ is Or
+
+
+class TestOperationalModes:
+    def test_first_mode_is_initial(self):
+        group = spare_group()
+        assert group.initial_mode == "inactive"
+
+    def test_expression_groups_need_triggers(self):
+        with pytest.raises(ModelError):
+            OperationalModeGroup(OMGroupKind.ON_OFF, ("on", "off"))
+
+    def test_active_inactive_rejects_triggers(self):
+        with pytest.raises(ModelError):
+            OperationalModeGroup(
+                OMGroupKind.ACTIVE_INACTIVE, ("inactive", "active"), (down("x"),)
+            )
+
+    def test_multi_level_degradation(self):
+        group = degradation_group([down("a"), down("b")])
+        assert group.modes == ("normal", "degraded1", "degraded2")
+
+    def test_helpers(self):
+        assert on_off_group(down("power")).kind is OMGroupKind.ON_OFF
+        assert accessibility_group(down("bus")).kind is OMGroupKind.ACCESSIBLE_INACCESSIBLE
+
+
+class TestBasicComponent:
+    def test_operational_state_cross_product(self):
+        component = BasicComponent(
+            "c",
+            time_to_failures=[Exponential(1.0)] * 4,
+            operational_modes=[spare_group(), on_off_group(down("power"))],
+        )
+        assert component.num_operational_states == 4
+        assert len(component.operational_states()) == 4
+
+    def test_single_distribution_broadcasts(self):
+        component = BasicComponent(
+            "c",
+            time_to_failures=Exponential(1.0),
+            operational_modes=[spare_group()],
+        )
+        assert component.time_to_failure_of(1) is component.time_to_failure_of(0)
+
+    def test_wrong_number_of_distributions_rejected(self):
+        with pytest.raises(ModelError):
+            BasicComponent(
+                "c",
+                time_to_failures=[Exponential(1.0), Exponential(2.0), Exponential(3.0)],
+                operational_modes=[spare_group()],
+            )
+
+    def test_failure_mode_probabilities_must_sum_to_one(self):
+        with pytest.raises(ModelError):
+            BasicComponent("c", Exponential(1.0), failure_mode_probabilities=[0.5, 0.6])
+
+    def test_failure_mode_tags(self):
+        component = BasicComponent(
+            "valve",
+            Exponential(1e-7),
+            failure_mode_probabilities=[0.5, 0.5],
+            time_to_repairs=[Exponential(0.1), Exponential(0.1)],
+            time_to_repair_df=Exponential(0.1),
+            destructive_fdep=down("pipe"),
+        )
+        assert component.failure_mode_tags() == ["m1", "m2", "df"]
+
+    def test_hyperexponential_ttf_rejected(self):
+        """PH distributions embedded in components need a deterministic start."""
+        with pytest.raises(ModelError):
+            BasicComponent("c", HyperExponential([0.5, 0.5], [1.0, 2.0]))
+
+    def test_erlang_accepted(self):
+        component = BasicComponent("c", Erlang(2, 0.1))
+        assert component.time_to_failure_of(0).num_phases == 2
+
+    def test_dependencies_collected(self):
+        component = BasicComponent(
+            "c",
+            Exponential(1.0),
+            operational_modes=[on_off_group(down("power"))],
+            destructive_fdep=down("fan"),
+        )
+        assert component.dependencies() == {"power", "fan"}
+
+
+class TestRepairUnit:
+    def test_strategy_from_string(self):
+        unit = RepairUnit("r", ["a", "b"], "fcfs")
+        assert unit.strategy is RepairStrategy.FCFS
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ModelError):
+            RepairUnit("r", ["a"], "magic")
+
+    def test_dedicated_requires_single_component(self):
+        with pytest.raises(ModelError):
+            RepairUnit("r", ["a", "b"], RepairStrategy.DEDICATED)
+
+    def test_priorities_required_for_priority_strategies(self):
+        with pytest.raises(ModelError):
+            RepairUnit("r", ["a", "b"], RepairStrategy.PRIORITY_PREEMPTIVE)
+
+    def test_priorities_from_mapping(self):
+        unit = RepairUnit(
+            "r", ["a", "b"], RepairStrategy.PRIORITY_PREEMPTIVE, priorities={"a": 2, "b": 1}
+        )
+        assert unit.priority_of("a") == 2
+        assert unit.priority_of("b") == 1
+
+    def test_duplicate_components_rejected(self):
+        with pytest.raises(ModelError):
+            RepairUnit("r", ["a", "a"], RepairStrategy.FCFS)
+
+
+class TestSpareManagementUnit:
+    def test_components_property(self):
+        unit = SpareManagementUnit("smu", "primary", ["s1", "s2"])
+        assert unit.components == ("primary", "s1", "s2")
+
+    def test_primary_cannot_be_spare(self):
+        with pytest.raises(ModelError):
+            SpareManagementUnit("smu", "p", ["p"])
+
+    def test_single_string_spare_accepted(self):
+        unit = SpareManagementUnit("smu", "p", "s")
+        assert unit.spares == ("s",)
+
+
+class TestArcadeModel:
+    def build_valid_model(self) -> ArcadeModel:
+        model = ArcadeModel(name="m")
+        model.add_component(
+            BasicComponent("a", Exponential(0.1), time_to_repairs=Exponential(1.0))
+        )
+        model.add_component(
+            BasicComponent("b", Exponential(0.1), time_to_repairs=Exponential(1.0))
+        )
+        model.add_repair_unit(RepairUnit("rep", ["a", "b"], RepairStrategy.FCFS))
+        model.set_system_down(down("a") & down("b"))
+        return model
+
+    def test_valid_model_passes(self):
+        self.build_valid_model().validate()
+
+    def test_duplicate_names_rejected(self):
+        model = self.build_valid_model()
+        with pytest.raises(ModelError):
+            model.add_component(BasicComponent("a", Exponential(1.0)))
+
+    def test_component_covered_by_two_repair_units_rejected(self):
+        model = self.build_valid_model()
+        model.add_repair_unit(RepairUnit("rep2", ["a"], RepairStrategy.DEDICATED))
+        with pytest.raises(ModelError):
+            model.validate()
+
+    def test_repairable_component_needs_repair_distribution(self):
+        model = ArcadeModel(name="m")
+        model.add_component(BasicComponent("a", Exponential(0.1)))
+        model.add_repair_unit(RepairUnit("rep", ["a"], RepairStrategy.DEDICATED))
+        model.set_system_down(down("a"))
+        with pytest.raises(ModelError):
+            model.validate()
+
+    def test_spare_needs_smu(self):
+        model = ArcadeModel(name="m")
+        model.add_component(
+            BasicComponent(
+                "s",
+                [Exponential(0.1), Exponential(0.1)],
+                operational_modes=[spare_group()],
+            )
+        )
+        model.set_system_down(down("s"))
+        with pytest.raises(ModelError):
+            model.validate()
+
+    def test_unknown_component_in_expression_rejected(self):
+        model = self.build_valid_model()
+        model.set_system_down(down("ghost"))
+        with pytest.raises(ModelError):
+            model.validate()
+
+    def test_unknown_mode_in_expression_rejected(self):
+        model = self.build_valid_model()
+        model.set_system_down(down("a", "m7"))
+        with pytest.raises(ModelError):
+            model.validate()
+
+    def test_self_dependency_rejected(self):
+        model = ArcadeModel(name="m")
+        model.add_component(
+            BasicComponent(
+                "a",
+                Exponential(0.1),
+                destructive_fdep=down("a"),
+                time_to_repair_df=Exponential(1.0),
+            )
+        )
+        model.set_system_down(down("a"))
+        with pytest.raises(ModelError):
+            model.validate()
+
+    def test_without_repair_strips_units(self):
+        stripped = self.build_valid_model().without_repair()
+        assert not stripped.repair_units
+        assert len(stripped.components) == 2
+
+    def test_repair_unit_lookup(self):
+        model = self.build_valid_model()
+        assert model.repair_unit_of("a").name == "rep"
+        assert model.repair_unit_of("ghost") is None
+        assert model.is_repairable("b")

@@ -1,0 +1,118 @@
+"""Tests for the paper's case studies (Section 5): DDS and RCS."""
+
+import pytest
+
+from repro.casestudies.dds import (
+    DDSParameters,
+    MISSION_TIME_HOURS,
+    build_dds_evaluator,
+    build_dds_model,
+    build_dds_modular_evaluator,
+)
+from repro.casestudies.rcs import (
+    MISSION_TIME_HOURS as RCS_MISSION_TIME,
+    RCSParameters,
+    build_heat_exchange_evaluator,
+    build_pump_evaluator,
+    build_rcs_model,
+    build_rcs_modular_evaluator,
+)
+
+
+class TestDDSModel:
+    def test_component_counts(self):
+        model = build_dds_model()
+        summary = model.summary()
+        # 2 processors + 4 controllers + 24 disks.
+        assert summary["components"] == 30
+        # processor RU + 2 controller-set RUs + 6 cluster RUs.
+        assert summary["repair_units"] == 9
+        assert summary["spare_units"] == 1
+        model.validate()
+
+    def test_parametric_generator(self):
+        small = build_dds_model(DDSParameters(num_clusters=2, disks_per_cluster=3))
+        assert small.summary()["components"] == 2 + 4 + 6
+
+    def test_modular_availability_matches_table1(self):
+        modular = build_dds_modular_evaluator()
+        assert modular.availability() == pytest.approx(0.999997, abs=1e-6)
+
+    def test_modular_reliability_matches_table1(self):
+        modular = build_dds_modular_evaluator()
+        reliability = modular.reliability(MISSION_TIME_HOURS, assume_no_repair=True)
+        assert reliability == pytest.approx(0.402018, abs=5e-6)
+
+
+class TestDDSFullComposition:
+    """The full compositional-aggregation run of Section 5.1.2 (slower test)."""
+
+    @pytest.fixture(scope="class")
+    def evaluator(self):
+        return build_dds_evaluator()
+
+    def test_ctmc_size_matches_paper(self, evaluator):
+        """The paper reports a final CTMC of 2,100 states and 15,120 transitions."""
+        evaluator.availability()
+        assert evaluator.ctmc.num_states == 2100
+        assert evaluator.ctmc.num_transitions == 15120
+
+    def test_availability_matches_table1(self, evaluator):
+        assert evaluator.availability() == pytest.approx(0.999997, abs=1e-6)
+
+    def test_reliability_matches_table1(self, evaluator):
+        reliability = evaluator.reliability(MISSION_TIME_HOURS)
+        assert reliability == pytest.approx(0.402018, abs=5e-6)
+
+    def test_full_composition_agrees_with_modular(self, evaluator):
+        modular = build_dds_modular_evaluator()
+        assert evaluator.availability() == pytest.approx(modular.availability(), rel=1e-9)
+
+
+class TestRCSModel:
+    def test_full_model_validates(self):
+        model = build_rcs_model()
+        model.validate()
+        # 2 pumps + 2 filters + 4 line valves + HX + HX filter + 2 HX valves + 2 MVs
+        assert model.summary()["components"] == 14
+
+    def test_pump_subsystem_measures(self):
+        evaluator = build_pump_evaluator()
+        unavailability = evaluator.unavailability()
+        # Both pump lines must be down simultaneously: a very rare event, but
+        # strictly positive and far below a single line's unavailability.
+        assert 0.0 < unavailability < 1e-6
+
+    def test_heat_exchange_subsystem_measures(self):
+        evaluator = build_heat_exchange_evaluator()
+        assert 0.0 < evaluator.unavailability() < 1e-9
+
+    def test_pump_subsystem_dominates_state_space(self):
+        """Section 5.2.2: the pump subsystem CTMC is much larger than the HX one."""
+        pumps = build_pump_evaluator()
+        heat = build_heat_exchange_evaluator()
+        pumps.availability()
+        heat.availability()
+        assert pumps.ctmc.num_states > 10 * heat.ctmc.num_states
+
+    def test_modular_measures_match_paper_shape(self):
+        """Section 5.2.2 reports ~6.5e-10 unavailability and ~5.3e-9 unreliability at 50 h."""
+        modular = build_rcs_modular_evaluator()
+        from repro.ctmc import point_availability
+
+        unavailability_50h = 1.0 - (
+            (point_availability(modular.evaluators["pumps"].ctmc, RCS_MISSION_TIME))
+            * (point_availability(modular.evaluators["heat_exchange"].ctmc, RCS_MISSION_TIME))
+        )
+        unreliability_50h = modular.unreliability(RCS_MISSION_TIME)
+        # Same order of magnitude and same ordering as the paper's numbers.
+        assert 1e-10 < unavailability_50h < 2e-9
+        assert 1e-9 < unreliability_50h < 2e-8
+        assert unreliability_50h > unavailability_50h
+
+    def test_erlang_pumps_have_load_sharing(self):
+        model = build_rcs_model()
+        pump = model.components["P1"]
+        assert pump.time_to_failure_of(1).mean() == pytest.approx(
+            pump.time_to_failure_of(0).mean() / 2.0
+        )

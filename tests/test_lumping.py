@@ -1,0 +1,171 @@
+"""Tests for bisimulation minimisation and the structural reductions."""
+
+import pytest
+
+from repro.ctmc import extract_ctmc, steady_state_availability
+from repro.ioimc import IOIMCBuilder, Signature, compose, hide
+from repro.lumping import (
+    eliminate_vanishing_chains,
+    maximal_progress_cut,
+    minimize_strong,
+    minimize_weak,
+    strong_bisimulation_partition,
+)
+
+
+def symmetric_pair():
+    """Two interleaved identical Markovian transitions (a diamond)."""
+    builder = IOIMCBuilder("diamond", Signature.create())
+    builder.state("both_up", initial=True)
+    builder.markovian("both_up", 0.5, "a_down")
+    builder.markovian("both_up", 0.5, "b_down")
+    builder.markovian("a_down", 0.5, "both_down")
+    builder.markovian("b_down", 0.5, "both_down")
+    builder.label("both_down", "down")
+    return builder.build()
+
+
+class TestStrongBisimulation:
+    def test_symmetric_states_merge(self):
+        result = minimize_strong(symmetric_pair())
+        assert result.quotient.num_states == 3
+        assert result.reduction_factor == pytest.approx(4 / 3)
+
+    def test_rates_into_merged_block_are_summed(self):
+        quotient = minimize_strong(symmetric_pair()).quotient
+        initial = quotient.initial
+        assert quotient.exit_rate(initial) == pytest.approx(1.0)
+
+    def test_labels_prevent_merging(self):
+        builder = IOIMCBuilder("labelled", Signature.create())
+        builder.state("a", initial=True, labels={"down"})
+        builder.state("b")
+        builder.markovian("a", 1.0, "b")
+        builder.markovian("b", 1.0, "a")
+        # Without label-respect the two states are bisimilar; with labels not.
+        respectful = minimize_strong(builder.build(), respect_labels=True)
+        assert respectful.quotient.num_states == 2
+
+    def test_distinct_rates_not_merged(self):
+        builder = IOIMCBuilder("rates", Signature.create())
+        builder.state("s", initial=True)
+        builder.markovian("s", 1.0, "a")
+        builder.markovian("s", 2.0, "b")
+        builder.markovian("a", 5.0, "s")
+        builder.markovian("b", 7.0, "s")
+        result = minimize_strong(builder.build())
+        assert result.quotient.num_states == 3
+
+    def test_interactive_signature_considered(self):
+        signature = Signature.create(outputs={"x", "y"})
+        builder = IOIMCBuilder("io", signature)
+        builder.state("s", initial=True)
+        builder.interactive("s", "x", "a")
+        builder.interactive("s", "y", "b")
+        builder.interactive("a", "x", "s")
+        builder.interactive("b", "y", "s")
+        partition = strong_bisimulation_partition(builder.build())
+        assert partition.num_blocks == 3
+
+    def test_measure_preservation_on_composed_model(self):
+        """Minimising before CTMC extraction does not change availability."""
+        machine = IOIMCBuilder("m", Signature.create(outputs={"f", "r"}))
+        machine.state("up", initial=True)
+        machine.markovian("up", 0.05, "pf")
+        machine.interactive("pf", "f", "down")
+        machine.label("pf", "down")
+        machine.label("down", "down")
+        machine.markovian("down", 1.0, "pr")
+        machine.interactive("pr", "r", "up")
+        automaton = hide(machine.build(), {"f", "r"})
+        direct = extract_ctmc(maximal_progress_cut(automaton))
+        reduced = extract_ctmc(minimize_strong(maximal_progress_cut(automaton)).quotient)
+        assert steady_state_availability(direct) == pytest.approx(
+            steady_state_availability(reduced), rel=1e-12
+        )
+
+
+class TestMaximalProgress:
+    def test_markovian_removed_from_unstable_states(self):
+        builder = IOIMCBuilder("mp", Signature.create(outputs={"x"}))
+        builder.state("s", initial=True)
+        builder.interactive("s", "x", "t")
+        builder.markovian("s", 3.0, "u")
+        builder.markovian("t", 1.0, "u")
+        cut = maximal_progress_cut(builder.build())
+        assert cut.markovian[cut.initial] == []
+        # The stable state keeps its Markovian transition.
+        t_index = next(i for i in cut.states() if cut.state_name(i) == "t")
+        assert len(cut.markovian[t_index]) == 1
+
+    def test_input_race_is_kept(self):
+        """Inputs can be delayed, so a race between an input and a delay remains."""
+        builder = IOIMCBuilder("race", Signature.create(inputs={"a"}))
+        builder.state("s", initial=True)
+        builder.interactive("s", "a", "t")
+        builder.markovian("s", 1.0, "u")
+        cut = maximal_progress_cut(builder.build())
+        assert len(cut.markovian[cut.initial]) == 1
+
+
+class TestVanishingElimination:
+    def test_single_tau_chain_collapses(self):
+        builder = IOIMCBuilder("chain", Signature.create(internals={"tau"}))
+        builder.state("a", initial=True)
+        builder.interactive("a", "tau", "b")
+        builder.interactive("b", "tau", "c")
+        builder.markovian("c", 1.0, "a")
+        reduced = eliminate_vanishing_chains(builder.build())
+        assert reduced.num_states == 1
+
+    def test_states_with_outputs_are_kept(self):
+        builder = IOIMCBuilder("keep", Signature.create(outputs={"x"}, internals={"tau"}))
+        builder.state("a", initial=True)
+        builder.interactive("a", "tau", "b")
+        builder.interactive("a", "x", "c")
+        builder.markovian("b", 1.0, "a")
+        builder.markovian("c", 1.0, "a")
+        reduced = eliminate_vanishing_chains(builder.build())
+        assert reduced.num_states == 3
+
+    def test_branching_tau_is_kept(self):
+        builder = IOIMCBuilder("branch", Signature.create(internals={"tau"}))
+        builder.state("a", initial=True)
+        builder.interactive("a", "tau", "b")
+        builder.interactive("a", "tau", "c")
+        builder.markovian("b", 1.0, "a")
+        builder.markovian("c", 2.0, "a")
+        reduced = eliminate_vanishing_chains(builder.build())
+        assert reduced.num_states == 3
+
+    def test_vanishing_labels_not_smeared(self):
+        """Labels of zero-time states must not leak onto tangible successors."""
+        builder = IOIMCBuilder("labels", Signature.create(internals={"tau"}))
+        builder.state("v", initial=True, labels={"down"})
+        builder.interactive("v", "tau", "t")
+        builder.markovian("t", 1.0, "v")
+        reduced = eliminate_vanishing_chains(builder.build())
+        assert reduced.label_of(reduced.initial) == frozenset()
+
+
+class TestWeakBisimulation:
+    def test_weak_at_least_as_coarse_as_strong(self):
+        builder = IOIMCBuilder("w", Signature.create(outputs={"x"}, internals={"tau"}))
+        builder.state("a", initial=True)
+        builder.interactive("a", "tau", "b")
+        builder.interactive("b", "x", "c")
+        builder.interactive("a", "x", "c")
+        builder.markovian("c", 1.0, "a")
+        automaton = builder.build()
+        strong = minimize_strong(automaton).quotient
+        weak = minimize_weak(automaton).quotient
+        assert weak.num_states <= strong.num_states
+
+    def test_weak_merges_tau_predecessor(self):
+        builder = IOIMCBuilder("w2", Signature.create(outputs={"x"}, internals={"tau"}))
+        builder.state("a", initial=True)
+        builder.interactive("a", "tau", "b")
+        builder.interactive("b", "x", "b")
+        automaton = builder.build()
+        weak = minimize_weak(automaton).quotient
+        assert weak.num_states == 1
