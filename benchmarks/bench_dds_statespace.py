@@ -52,11 +52,18 @@ def test_largest_intermediate(benchmark, arcade_evaluator):
         f"(paper, with branching bisimulation and CADP's ordering: "
         f"{PAPER_LARGEST_INTERMEDIATE[0]} / {PAPER_LARGEST_INTERMEDIATE[1]})"
     )
-    print("Per-step sizes (before -> after reduction):")
+    print("Per-step sizes (before -> after reduction) and wall-clock:")
     for row in statistics.as_table():
         print(
-            f"  {row['states_before']:>7} -> {row['states_after']:>6}   {row['step']}"
+            f"  {row['states_before']:>7} -> {row['states_after']:>6}   "
+            f"compose {row['compose_s']:>7.3f}s  reduce {row['reduce_s']:>7.3f}s   "
+            f"{row['step']}"
         )
+    print(
+        f"Totals: compose {statistics.total_compose_seconds:.2f}s, "
+        f"reduce {statistics.total_reduce_seconds:.2f}s "
+        f"(of which final pass {statistics.final_reduce_seconds:.2f}s)"
+    )
     # Same order-of-magnitude story: intermediates stay far below the flat product.
     assert statistics.largest_intermediate_states < 200_000
 

@@ -60,7 +60,12 @@ def test_table1_arcade_column(benchmark, arcade_evaluator):
         return availability, reliability
 
     availability, reliability = benchmark(measures)
+    statistics = arcade_evaluator.composed.statistics
     print("\nTable 1 (Arcade column, compositional I/O-IMC pipeline):")
+    print(
+        f"  pipeline wall-clock: compose {statistics.total_compose_seconds:.2f}s, "
+        f"reduce {statistics.total_reduce_seconds:.2f}s over {len(statistics.steps)} steps"
+    )
     _print_row("Arcade (this library)", availability, reliability)
     _print_row("Arcade (paper)", PAPER_TABLE_1[("arcade", "availability")],
                PAPER_TABLE_1[("arcade", "reliability")])

@@ -57,12 +57,16 @@ class ArcadeEvaluator:
         reduction: str = "strong",
         max_gate_width: int = 2,
         lump_final_ctmc: bool = True,
+        reduce_every_n: int = 1,
+        adaptive_reduction_states: int | None = None,
     ) -> None:
         self.model = model
         self.order = order
         self.reduction = reduction
         self.max_gate_width = max_gate_width
         self.lump_final_ctmc = lump_final_ctmc
+        self.reduce_every_n = reduce_every_n
+        self.adaptive_reduction_states = adaptive_reduction_states
         self._translated: TranslatedModel | None = None
         self._composed: ComposedSystem | None = None
         self._composed_no_repair: ComposedSystem | None = None
@@ -88,6 +92,8 @@ class ArcadeEvaluator:
                 order=self.order,
                 reduction=self.reduction,
                 lump_final_ctmc=self.lump_final_ctmc,
+                reduce_every_n=self.reduce_every_n,
+                adaptive_reduction_states=self.adaptive_reduction_states,
             )
         return self._composed
 
@@ -110,6 +116,8 @@ class ArcadeEvaluator:
                 order=order,
                 reduction=self.reduction,
                 lump_final_ctmc=self.lump_final_ctmc,
+                reduce_every_n=self.reduce_every_n,
+                adaptive_reduction_states=self.adaptive_reduction_states,
             )
         return self._composed_no_repair
 

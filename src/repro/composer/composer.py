@@ -18,6 +18,7 @@ simple greedy heuristic when no order is supplied.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -38,7 +39,7 @@ CompositionOrder = Sequence["str | CompositionOrder"]
 
 @dataclass(frozen=True)
 class CompositionStep:
-    """Size bookkeeping for one composition step."""
+    """Size and timing bookkeeping for one composition step."""
 
     description: str
     states_before_reduction: int
@@ -46,6 +47,14 @@ class CompositionStep:
     states_after_reduction: int
     transitions_after_reduction: int
     hidden_actions: tuple[str, ...]
+    compose_seconds: float = 0.0
+    reduce_seconds: float = 0.0
+    reduced: bool = True
+
+    @property
+    def seconds(self) -> float:
+        """Total wall-clock time of this step."""
+        return self.compose_seconds + self.reduce_seconds
 
 
 @dataclass
@@ -53,6 +62,7 @@ class CompositionStatistics:
     """Aggregated statistics of a full compositional-aggregation run."""
 
     steps: list[CompositionStep] = field(default_factory=list)
+    final_reduce_seconds: float = 0.0
 
     def record(self, step: CompositionStep) -> None:
         self.steps.append(step)
@@ -67,6 +77,23 @@ class CompositionStatistics:
         """Transitions of the largest I/O-IMC encountered during generation."""
         return max((step.transitions_before_reduction for step in self.steps), default=0)
 
+    @property
+    def total_compose_seconds(self) -> float:
+        """Wall-clock time spent building parallel products."""
+        return sum(step.compose_seconds for step in self.steps)
+
+    @property
+    def total_reduce_seconds(self) -> float:
+        """Wall-clock time spent in the reduction pipeline (incl. final pass)."""
+        return (
+            sum(step.reduce_seconds for step in self.steps) + self.final_reduce_seconds
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time of composition plus reduction."""
+        return self.total_compose_seconds + self.total_reduce_seconds
+
     def as_table(self) -> list[dict[str, object]]:
         """Rows suitable for printing in benchmarks and EXPERIMENTS.md."""
         return [
@@ -77,6 +104,8 @@ class CompositionStatistics:
                 "states_after": step.states_after_reduction,
                 "transitions_after": step.transitions_after_reduction,
                 "hidden": len(step.hidden_actions),
+                "compose_s": round(step.compose_seconds, 4),
+                "reduce_s": round(step.reduce_seconds, 4),
             }
             for step in self.steps
         ]
@@ -106,18 +135,34 @@ class Composer:
         reduction: str = "strong",
         eliminate_vanishing: bool = True,
         lump_final_ctmc: bool = True,
+        reduce_every_n: int = 1,
+        adaptive_reduction_states: int | None = None,
     ) -> None:
         if reduction not in ("strong", "weak", "none"):
             raise CompositionError(
                 f"unknown reduction {reduction!r} (expected 'strong', 'weak' or 'none')"
+            )
+        if reduce_every_n < 1:
+            raise CompositionError(
+                f"reduce_every_n must be >= 1, got {reduce_every_n}"
             )
         self.translated = translated
         self.order = order
         self.reduction = reduction
         self.eliminate_vanishing = eliminate_vanishing
         self.lump_final_ctmc = lump_final_ctmc
+        #: Reduce only every n-th composition step (1 = the paper's
+        #: reduce-after-every-step aggregation).  Skipping reductions trades
+        #: larger intermediate products for fewer minimisation passes, which
+        #: pays off when the blocks being merged share few actions.
+        self.reduce_every_n = reduce_every_n
+        #: Adaptive override: when set, an off-cycle step is reduced anyway as
+        #: soon as the intermediate product exceeds this many states, so a
+        #: sparse reduction schedule cannot let the state space explode.
+        self.adaptive_reduction_states = adaptive_reduction_states
         self.statistics = CompositionStatistics()
         self._composed_blocks: set[str] = set()
+        self._steps_since_reduction = 0
 
     # ------------------------------------------------------------------ #
     # public API
@@ -126,6 +171,10 @@ class Composer:
         """Run the full pipeline: compose, hide, reduce, extract the CTMC."""
         order = self.order if self.order is not None else self.default_order()
         self._composed_blocks = set()
+        self._steps_since_reduction = 0
+        # Fresh statistics per run: compose() is re-runnable and must not
+        # accumulate steps/timings across invocations.
+        self.statistics = CompositionStatistics()
         system = self._compose_group(order)
         missing = set(self.translated.blocks) - self._composed_blocks
         if missing:
@@ -134,7 +183,9 @@ class Composer:
             )
         # Close the system: everything that is still visible can be hidden now.
         system = hide(system, system.signature.outputs)
+        started = time.perf_counter()
         system = self._reduce(system)
+        self.statistics.final_reduce_seconds += time.perf_counter() - started
         ctmc = extract_ctmc(system)
         if self.lump_final_ctmc:
             ctmc = lump(ctmc).quotient
@@ -198,10 +249,20 @@ class Composer:
         for member in members[1:]:
             block = self._compose_group(member)
             description = f"{composite.name} || {block.name}"
+            compose_started = time.perf_counter()
             composite = compose(composite, block, name=description)
             before = composite.summary()
             composite, hidden_actions = self._hide_closed_signals(composite)
-            composite = self._reduce(composite)
+            compose_seconds = time.perf_counter() - compose_started
+            should_reduce = self._should_reduce(before["states"])
+            reduce_seconds = 0.0
+            if should_reduce:
+                reduce_started = time.perf_counter()
+                composite = self._reduce(composite)
+                reduce_seconds = time.perf_counter() - reduce_started
+                self._steps_since_reduction = 0
+            else:
+                self._steps_since_reduction += 1
             after = composite.summary()
             self.statistics.record(
                 CompositionStep(
@@ -211,6 +272,9 @@ class Composer:
                     states_after_reduction=after["states"],
                     transitions_after_reduction=after["transitions"],
                     hidden_actions=tuple(hidden_actions),
+                    compose_seconds=compose_seconds,
+                    reduce_seconds=reduce_seconds,
+                    reduced=should_reduce,
                 )
             )
             # Keep the running composite's name short; the full history is in
@@ -219,6 +283,21 @@ class Composer:
                 f"composite[{len(self._composed_blocks)} blocks]"
             )
         return composite
+
+    def _should_reduce(self, states_before: int) -> bool:
+        """Apply the reduction policy to the current step.
+
+        With ``reduce_every_n == 1`` (the default, and the paper's setup)
+        every step is reduced.  A sparser schedule reduces on every n-th
+        step, but the adaptive override kicks in whenever the intermediate
+        product has grown past ``adaptive_reduction_states``.
+        """
+        if self.reduce_every_n <= 1:
+            return True
+        if self._steps_since_reduction + 1 >= self.reduce_every_n:
+            return True
+        threshold = self.adaptive_reduction_states
+        return threshold is not None and states_before > threshold
 
     def _hide_closed_signals(self, composite: IOIMC) -> tuple[IOIMC, list[str]]:
         """Hide every output whose listeners have all been composed in."""
@@ -251,6 +330,8 @@ def compose_model(
     reduction: str = "strong",
     eliminate_vanishing: bool = True,
     lump_final_ctmc: bool = True,
+    reduce_every_n: int = 1,
+    adaptive_reduction_states: int | None = None,
 ) -> ComposedSystem:
     """One-call wrapper around :class:`Composer`."""
     composer = Composer(
@@ -259,6 +340,8 @@ def compose_model(
         reduction=reduction,
         eliminate_vanishing=eliminate_vanishing,
         lump_final_ctmc=lump_final_ctmc,
+        reduce_every_n=reduce_every_n,
+        adaptive_reduction_states=adaptive_reduction_states,
     )
     return composer.compose()
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..lumping.partition import Partition
+from ..lumping.refinement import refine_with_worklist
 from .ctmc import CTMC
 
 
@@ -24,27 +25,32 @@ class CTMCLumpingResult:
 
 
 def lumping_partition(ctmc: CTMC, *, respect_labels: bool = True) -> Partition:
-    """Coarsest ordinary-lumpability partition of ``ctmc``."""
+    """Coarsest ordinary-lumpability partition of ``ctmc``.
+
+    Runs on the splitter-worklist engine: after a block splits, only blocks
+    containing predecessors of the split states are re-examined, instead of
+    re-grouping the whole chain every round.
+    """
     if respect_labels:
         keys = [ctmc.label_of(state) for state in range(ctmc.num_states)]
     else:
-        keys = [frozenset() for _ in range(ctmc.num_states)]
-    partition = Partition.from_keys(keys)
+        keys = [frozenset()] * ctmc.num_states
 
     successors: list[list[tuple[float, int]]] = [[] for _ in range(ctmc.num_states)]
+    predecessor_sets: list[set[int]] = [set() for _ in range(ctmc.num_states)]
     for source, rate, target in ctmc.transitions():
         successors[source].append((rate, target))
+        predecessor_sets[target].add(source)
+    predecessors = [sorted(sources) for sources in predecessor_sets]
 
-    def signature(state: int) -> tuple:
+    def signature(state: int, block_of) -> tuple:
         rates: dict[int, float] = {}
         for rate, target in successors[state]:
-            block = partition.block_of[target]
+            block = block_of[target]
             rates[block] = rates.get(block, 0.0) + rate
         return tuple(sorted((block, float(f"{rate:.9e}")) for block, rate in rates.items()))
 
-    while partition.refine(signature):
-        pass
-    return partition
+    return refine_with_worklist(keys, signature, predecessors)
 
 
 def lump(ctmc: CTMC, *, respect_labels: bool = True) -> CTMCLumpingResult:

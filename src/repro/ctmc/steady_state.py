@@ -31,7 +31,16 @@ _GTH_LIMIT = 1500
 
 
 def steady_state_distribution(ctmc: CTMC) -> np.ndarray:
-    """Long-run probability vector of ``ctmc`` from its initial distribution."""
+    """Long-run probability vector of ``ctmc`` from its initial distribution.
+
+    The result is memoised on the chain (CTMCs are immutable after
+    construction): every long-run measure of the same chain reuses one solve
+    instead of re-running the cubic GTH elimination.  The returned array is
+    marked read-only because it is shared between callers.
+    """
+    cached = getattr(ctmc, "_steady_state_cache", None)
+    if cached is not None:
+        return cached
     bsccs = bottom_strongly_connected_components(ctmc)
     if not bsccs:
         raise AnalysisError("the CTMC has no bottom strongly connected component")
@@ -46,7 +55,10 @@ def steady_state_distribution(ctmc: CTMC) -> np.ndarray:
     total = distribution.sum()
     if not np.isfinite(total) or abs(total - 1.0) > 1e-6:
         raise AnalysisError(f"steady-state distribution does not sum to one ({total})")
-    return distribution / total
+    result = distribution / total
+    result.setflags(write=False)
+    ctmc._steady_state_cache = result
+    return result
 
 
 def bottom_strongly_connected_components(ctmc: CTMC) -> list[list[int]]:

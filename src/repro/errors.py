@@ -40,6 +40,17 @@ class NondeterminismError(ArcadeError):
     """
 
 
+class LumpingError(ArcadeError):
+    """Bisimulation minimisation could not attribute behaviour unambiguously.
+
+    Raised by the weak-bisimulation engine when the tau-successors of a
+    Markovian target land in several equivalence classes through genuinely
+    nondeterministic internal branching, so the Markovian rate cannot be
+    attributed to a single class.  Models produced by the Arcade translation
+    are tau-confluent and never trigger this; hand-written I/O-IMCs can.
+    """
+
+
 class CompositionError(ArcadeError):
     """Parallel composition failed (incompatible models or bad ordering)."""
 

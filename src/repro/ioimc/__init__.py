@@ -6,13 +6,16 @@ This package provides the I/O-IMC formalism of Section 2 of the paper:
 * :class:`~repro.ioimc.actions.Signature` — input/output/internal action sets,
 * :func:`~repro.ioimc.composition.compose` — the parallel composition ``||``,
 * :func:`~repro.ioimc.hiding.hide` — the hiding operator,
-* :class:`~repro.ioimc.builder.IOIMCBuilder` — a named-state construction aid.
+* :class:`~repro.ioimc.builder.IOIMCBuilder` — a named-state construction aid,
+* :class:`~repro.ioimc.indexed.TransitionIndex` — the interned-action,
+  integer-indexed view the fast refinement/reduction algorithms operate on.
 """
 
 from .actions import TAU, ActionKind, Signature
 from .builder import IOIMCBuilder
 from .composition import compose, compose_many
 from .hiding import hide, hide_all_outputs
+from .indexed import TransitionIndex
 from .ioimc import InteractiveTransition, IOIMC, MarkovianTransition
 from .visualization import to_dot, to_text
 
@@ -22,6 +25,7 @@ __all__ = [
     "Signature",
     "IOIMC",
     "IOIMCBuilder",
+    "TransitionIndex",
     "InteractiveTransition",
     "MarkovianTransition",
     "compose",

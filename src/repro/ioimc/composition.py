@@ -44,73 +44,111 @@ def compose(left: IOIMC, right: IOIMC, name: str | None = None) -> IOIMC:
     shared = left.signature.visible & right.signature.visible
     composite_name = name if name is not None else f"({left.name} || {right.name})"
 
-    # Index of every discovered composite state (pair of component states).
-    index: dict[tuple[int, int], int] = {}
-    pairs: list[tuple[int, int]] = []
+    # Per-operand action buckets, computed once per component state instead of
+    # once per *visit* of a composite state (a composite state revisits the
+    # same component rows over and over).
+    left_buckets = _action_buckets(left)
+    right_buckets = _action_buckets(right)
+    left_markovian = left.markovian
+    right_markovian = right.markovian
 
-    def lookup(pair: tuple[int, int]) -> int:
-        state = index.get(pair)
-        if state is None:
-            state = len(pairs)
-            index[pair] = state
-            pairs.append(pair)
-            interactive.append([])
-            markovian.append([])
-        return state
+    # Index of every discovered composite state.  A pair of component states
+    # is encoded as a single integer (``left * width + right``): integer dict
+    # keys hash markedly faster than tuples on this hot path.
+    width = right.num_states
+    index: dict[int, int] = {}
+    pairs: list[int] = []
 
     interactive: list[list[tuple[str, int]]] = []
     markovian: list[list[tuple[float, int]]] = []
 
-    initial = lookup((left.initial, right.initial))
+    def discover(pair: int) -> int:
+        """Slow path of the pair lookup: register a newly found state."""
+        state = len(pairs)
+        index[pair] = state
+        pairs.append(pair)
+        interactive.append([])
+        markovian.append([])
+        return state
+
+    index_get = index.get
+
+    initial = discover(left.initial * width + right.initial)
     frontier = [initial]
     while frontier:
         state = frontier.pop()
-        left_state, right_state = pairs[state]
+        left_state, right_state = divmod(pairs[state], width)
         before = len(pairs)
         out_interactive: list[tuple[str, int]] = []
         out_markovian: list[tuple[float, int]] = []
 
-        left_by_action: dict[str, list[int]] = {}
-        for action, target in left.interactive[left_state]:
-            left_by_action.setdefault(action, []).append(target)
-        right_by_action: dict[str, list[int]] = {}
-        for action, target in right.interactive[right_state]:
-            right_by_action.setdefault(action, []).append(target)
+        left_by_action = left_buckets[left_state]
+        right_by_action = right_buckets[right_state]
+        left_base = left_state * width
 
         for action, left_targets in left_by_action.items():
             if action in shared:
                 for left_target in left_targets:
+                    target_base = left_target * width
                     for right_target in right_by_action.get(action, ()):
-                        out_interactive.append(
-                            (action, lookup((left_target, right_target)))
-                        )
+                        code = target_base + right_target
+                        successor = index_get(code)
+                        if successor is None:
+                            successor = discover(code)
+                        out_interactive.append((action, successor))
             else:
                 for left_target in left_targets:
-                    out_interactive.append((action, lookup((left_target, right_state))))
+                    code = left_target * width + right_state
+                    successor = index_get(code)
+                    if successor is None:
+                        successor = discover(code)
+                    out_interactive.append((action, successor))
         for action, right_targets in right_by_action.items():
             if action in shared:
                 continue  # handled above (synchronised) or controlled by the left
             for right_target in right_targets:
-                out_interactive.append((action, lookup((left_state, right_target))))
+                code = left_base + right_target
+                successor = index_get(code)
+                if successor is None:
+                    successor = discover(code)
+                out_interactive.append((action, successor))
 
-        for rate, target in left.markovian[left_state]:
-            out_markovian.append((rate, lookup((target, right_state))))
-        for rate, target in right.markovian[right_state]:
-            out_markovian.append((rate, lookup((left_state, target))))
+        for rate, target in left_markovian[left_state]:
+            code = target * width + right_state
+            successor = index_get(code)
+            if successor is None:
+                successor = discover(code)
+            out_markovian.append((rate, successor))
+        for rate, target in right_markovian[right_state]:
+            code = left_base + target
+            successor = index_get(code)
+            if successor is None:
+                successor = discover(code)
+            out_markovian.append((rate, successor))
 
         interactive[state] = _dedupe(out_interactive)
         markovian[state] = out_markovian
         frontier.extend(range(before, len(pairs)))
 
-    labels = {}
-    state_names = []
-    for state, (left_state, right_state) in enumerate(pairs):
-        merged = left.label_of(left_state) | right.label_of(right_state)
-        if merged:
-            labels[state] = merged
-        state_names.append(f"{left.state_name(left_state)}|{right.state_name(right_state)}")
+    labels: dict[int, frozenset[str]] = {}
+    if left.labels or right.labels:
+        left_labels = left.labels
+        right_labels = right.labels
+        empty: frozenset[str] = frozenset()
+        for state, pair in enumerate(pairs):
+            left_state, right_state = divmod(pair, width)
+            merged = left_labels.get(left_state, empty) | right_labels.get(
+                right_state, empty
+            )
+            if merged:
+                labels[state] = merged
+    left_names = [left.state_name(state) for state in left.states()]
+    right_names = [right.state_name(state) for state in right.states()]
+    state_names = [
+        f"{left_names[pair // width]}|{right_names[pair % width]}" for pair in pairs
+    ]
 
-    return IOIMC(
+    return IOIMC.trusted(
         composite_name,
         signature,
         len(pairs),
@@ -134,15 +172,20 @@ def compose_many(components: Sequence[IOIMC], name: str | None = None) -> IOIMC:
     return composite
 
 
+def _action_buckets(automaton: IOIMC) -> list[dict[str, list[int]]]:
+    """Per state: targets grouped by action, in transition order."""
+    buckets: list[dict[str, list[int]]] = []
+    for row in automaton.interactive:
+        by_action: dict[str, list[int]] = {}
+        for action, target in row:
+            by_action.setdefault(action, []).append(target)
+        buckets.append(by_action)
+    return buckets
+
+
 def _dedupe(transitions: list[tuple[str, int]]) -> list[tuple[str, int]]:
     """Remove duplicate interactive transitions while preserving order."""
-    seen: set[tuple[str, int]] = set()
-    unique: list[tuple[str, int]] = []
-    for entry in transitions:
-        if entry not in seen:
-            seen.add(entry)
-            unique.append(entry)
-    return unique
+    return list(dict.fromkeys(transitions))
 
 
 __all__ = ["compose", "compose_many"]

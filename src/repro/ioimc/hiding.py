@@ -50,7 +50,7 @@ def hide(automaton: IOIMC, actions: Iterable[str], *, rename_to_tau: bool = True
     else:
         signature = hidden_signature
         interactive = automaton.interactive
-    return IOIMC(
+    return IOIMC.trusted(
         automaton.name,
         signature,
         automaton.num_states,

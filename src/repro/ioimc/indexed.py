@@ -1,0 +1,169 @@
+"""Interned-action, integer-indexed view of an I/O-IMC.
+
+The refinement and reduction algorithms spend most of their time asking the
+same questions about an automaton over and over: what kind is this action,
+which internal transitions leave this state, is this state stable, who are a
+state's predecessors.  Answering them through the string-keyed
+:class:`~repro.ioimc.actions.Signature` (frozenset membership per query) is
+what made the seed implementation quadratic in practice.
+
+:class:`TransitionIndex` answers them in O(1) array lookups instead:
+
+* action names are *interned* to consecutive integer ids (sorted order, so
+  ids are deterministic for a given signature);
+* per-state adjacency lists carry ``(action_id, target)`` pairs aligned with
+  the automaton's transition order, plus sorted copies for algorithms that
+  want binary-searchable adjacency;
+* internal (tau) successor lists, a stability bit per state and cached
+  predecessor lists are precomputed once.
+
+An index is built lazily by :meth:`repro.ioimc.IOIMC.index` and cached on the
+automaton; I/O-IMCs are immutable after construction, so the cache can never
+go stale.
+"""
+
+from __future__ import annotations
+
+from .actions import ActionKind
+
+
+class TransitionIndex:
+    """Integer-indexed transition tables of one (immutable) I/O-IMC."""
+
+    __slots__ = (
+        "automaton",
+        "actions",
+        "id_of",
+        "kinds",
+        "is_input",
+        "is_internal",
+        "is_visible",
+        "internal_successors",
+        "stable",
+        "_interactive_ids",
+        "_sorted_interactive",
+        "_predecessors",
+    )
+
+    def __init__(self, automaton) -> None:
+        self.automaton = automaton
+        signature = automaton.signature
+        #: Interned action names; the id of an action is its position here.
+        self.actions: list[str] = sorted(signature.all_actions)
+        self.id_of: dict[str, int] = {
+            action: aid for aid, action in enumerate(self.actions)
+        }
+        self.kinds: list[ActionKind] = [
+            signature.kind_of(action) for action in self.actions
+        ]
+        self.is_input: list[bool] = [k is ActionKind.INPUT for k in self.kinds]
+        self.is_internal: list[bool] = [k is ActionKind.INTERNAL for k in self.kinds]
+        self.is_visible: list[bool] = [
+            k is not ActionKind.INTERNAL for k in self.kinds
+        ]
+
+        internals = signature.internals
+        inputs = signature.inputs
+        #: Per state: targets of internal (tau) transitions.
+        self.internal_successors: list[list[int]] = []
+        #: Per state: ``True`` when no output or internal transition is enabled.
+        self.stable: list[bool] = []
+        internal_successors = self.internal_successors
+        stable_flags = self.stable
+        for row in automaton.interactive:
+            internal: list[int] = []
+            stable = True
+            for action, target in row:
+                if action in internals:
+                    internal.append(target)
+                    stable = False
+                elif action not in inputs:
+                    stable = False
+            internal_successors.append(internal)
+            stable_flags.append(stable)
+        self._interactive_ids: list[list[tuple[int, int]]] | None = None
+        self._sorted_interactive: list[list[tuple[int, int]]] | None = None
+        self._predecessors: list[list[int]] | None = None
+
+    def adopt(self, automaton) -> "TransitionIndex":
+        """Re-attach this index to an automaton with the *same* interactive table.
+
+        Used by transformations that only touch Markovian rows (e.g. the
+        maximal-progress cut): every interactive-derived table can be shared,
+        only the predecessor cache has to be rebuilt on demand.
+        """
+        clone = TransitionIndex.__new__(TransitionIndex)
+        clone.automaton = automaton
+        clone.actions = self.actions
+        clone.id_of = self.id_of
+        clone.kinds = self.kinds
+        clone.is_input = self.is_input
+        clone.is_internal = self.is_internal
+        clone.is_visible = self.is_visible
+        clone.internal_successors = self.internal_successors
+        clone.stable = self.stable
+        clone._interactive_ids = self._interactive_ids
+        clone._sorted_interactive = self._sorted_interactive
+        clone._predecessors = None
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # derived, lazily cached tables
+    # ------------------------------------------------------------------ #
+    def interactive_ids(self) -> list[list[tuple[int, int]]]:
+        """Per-state ``(action_id, target)`` pairs in the automaton's order."""
+        if self._interactive_ids is None:
+            id_of = self.id_of
+            self._interactive_ids = [
+                [(id_of[action], target) for action, target in row]
+                for row in self.automaton.interactive
+            ]
+        return self._interactive_ids
+
+    def sorted_interactive(self) -> list[list[tuple[int, int]]]:
+        """Per-state adjacency sorted by ``(action_id, target)``."""
+        if self._sorted_interactive is None:
+            self._sorted_interactive = [sorted(row) for row in self.interactive_ids()]
+        return self._sorted_interactive
+
+    def predecessors(self) -> list[list[int]]:
+        """For every state, the (deduplicated) sources of incoming transitions.
+
+        Both interactive and Markovian transitions count: any predecessor's
+        refinement signature reads the block of this state, so this is exactly
+        the *observer* relation the worklist refinement engine needs.
+        """
+        if self._predecessors is None:
+            automaton = self.automaton
+            seen: list[set[int]] = [set() for _ in range(automaton.num_states)]
+            for source, row in enumerate(automaton.interactive):
+                for _, target in row:
+                    seen[target].add(source)
+            for source, row in enumerate(automaton.markovian):
+                for _, target in row:
+                    seen[target].add(source)
+            self._predecessors = [sorted(sources) for sources in seen]
+        return self._predecessors
+
+    def tau_closure(self) -> list[list[int]]:
+        """For every state, the sorted list of states reachable by ``tau*``."""
+        internal_successors = self.internal_successors
+        closure: list[list[int]] = []
+        for state in range(self.automaton.num_states):
+            reached = {state}
+            stack = [state]
+            while stack:
+                current = stack.pop()
+                for successor in internal_successors[current]:
+                    if successor not in reached:
+                        reached.add(successor)
+                        stack.append(successor)
+            closure.append(sorted(reached))
+        return closure
+
+    def summary(self) -> dict[str, int]:
+        """Size statistics (mirrors :meth:`repro.ioimc.IOIMC.summary`)."""
+        return self.automaton.summary()
+
+
+__all__ = ["TransitionIndex"]

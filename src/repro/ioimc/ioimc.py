@@ -75,6 +75,8 @@ class IOIMC:
         "markovian",
         "labels",
         "state_names",
+        "_index",
+        "_transition_counts",
     )
 
     def __init__(
@@ -104,7 +106,53 @@ class IOIMC:
             state: frozenset(props) for state, props in (labels or {}).items() if props
         }
         self.state_names = list(state_names) if state_names is not None else None
+        self._index = None
+        self._transition_counts = None
         self._validate()
+
+    @classmethod
+    def trusted(
+        cls,
+        name: str,
+        signature: Signature,
+        num_states: int,
+        initial: int,
+        interactive: list[list[tuple[str, int]]],
+        markovian: list[list[tuple[float, int]]],
+        labels: Mapping[int, frozenset[str]] | None = None,
+        state_names: list[str] | None = None,
+    ) -> "IOIMC":
+        """Construct without validation or defensive copies (internal use only).
+
+        The library's own transformations (composition, hiding, reductions,
+        quotients) produce transition tables that are valid by construction;
+        re-validating and re-copying them accounted for a measurable share of
+        the composition pipeline's runtime.  Callers hand over ownership of
+        ``interactive``/``markovian``/``state_names`` and must guarantee every
+        invariant that ``__init__`` checks.
+        """
+        self = cls.__new__(cls)
+        self.name = name
+        self.signature = signature
+        self.num_states = num_states
+        self.initial = initial
+        self.interactive = interactive
+        self.markovian = markovian
+        self.labels = {
+            state: props for state, props in (labels or {}).items() if props
+        }
+        self.state_names = state_names
+        self._index = None
+        self._transition_counts = None
+        return self
+
+    def index(self):
+        """The cached :class:`~repro.ioimc.indexed.TransitionIndex` of this automaton."""
+        if self._index is None:
+            from .indexed import TransitionIndex
+
+            self._index = TransitionIndex(self)
+        return self._index
 
     # ------------------------------------------------------------------ #
     # validation
@@ -185,11 +233,19 @@ class IOIMC:
 
     def num_interactive_transitions(self) -> int:
         """Total number of interactive transitions."""
-        return sum(len(row) for row in self.interactive)
+        return self._counts()[0]
 
     def num_markovian_transitions(self) -> int:
         """Total number of Markovian transitions."""
-        return sum(len(row) for row in self.markovian)
+        return self._counts()[1]
+
+    def _counts(self) -> tuple[int, int]:
+        if self._transition_counts is None:
+            self._transition_counts = (
+                sum(len(row) for row in self.interactive),
+                sum(len(row) for row in self.markovian),
+            )
+        return self._transition_counts
 
     def num_transitions(self) -> int:
         """Total number of transitions of either kind."""
@@ -231,15 +287,21 @@ class IOIMC:
         semantically a state without an explicit ``a?`` transition simply stays
         put when ``a`` occurs.  This helper materialises that convention.
         """
-        interactive = [list(row) for row in self.interactive]
+        inputs = self.signature.inputs
+        if not inputs:
+            return self
+        interactive: list[list[tuple[str, int]]] = []
         changed = False
-        for state in self.states():
-            for action in self.missing_inputs(state):
-                interactive[state].append((action, state))
+        for state, row in enumerate(self.interactive):
+            missing = inputs - {action for action, _ in row}
+            if missing:
+                interactive.append(list(row) + [(action, state) for action in missing])
                 changed = True
+            else:
+                interactive.append(row)
         if not changed:
             return self
-        return IOIMC(
+        return IOIMC.trusted(
             self.name,
             self.signature,
             self.num_states,
@@ -286,7 +348,7 @@ class IOIMC:
             [(rate, target) for target, rate in sorted((row or {}).items())]
             for row in markovian
         ]
-        return IOIMC(
+        return IOIMC.trusted(
             self.name,
             self.signature,
             num_new_states,
@@ -314,7 +376,7 @@ class IOIMC:
         ]
         labels = {new_index[old]: self.label_of(old) for old in order if self.label_of(old)}
         names = [self.state_name(old) for old in order] if self.state_names else None
-        return IOIMC(
+        return IOIMC.trusted(
             self.name,
             self.signature,
             len(order),
@@ -343,7 +405,7 @@ class IOIMC:
 
     def renamed(self, name: str) -> "IOIMC":
         """Return a shallow copy carrying a different automaton name."""
-        return IOIMC(
+        return IOIMC.trusted(
             name,
             self.signature,
             self.num_states,

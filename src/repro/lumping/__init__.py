@@ -3,9 +3,16 @@
 This package plays the role of CADP's aggregation step in the paper's tool
 chain (Section 4): after every composition step the intermediate I/O-IMC is
 reduced so that the state-space explosion is kept in check.
+
+Both minimisation passes (strong and weak) run on the splitter-worklist
+refinement engine of :mod:`repro.lumping.refinement`, operating on the
+interned-action transition index of :class:`repro.ioimc.TransitionIndex` —
+near-linear in the transition system instead of the per-round full
+recomputation a naive implementation performs.
 """
 
 from .partition import Partition
+from .refinement import refine_with_worklist
 from .reductions import (
     eliminate_vanishing_chains,
     maximal_progress_cut,
@@ -22,6 +29,7 @@ from .weak import minimize_weak, weak_bisimulation_partition
 __all__ = [
     "Partition",
     "LumpingResult",
+    "refine_with_worklist",
     "eliminate_vanishing_chains",
     "maximal_progress_cut",
     "prune_unreachable",

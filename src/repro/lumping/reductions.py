@@ -18,7 +18,6 @@ arise from Arcade models (see DESIGN.md, "Key semantic decisions").
 from __future__ import annotations
 
 from ..ioimc import IOIMC
-from ..ioimc.actions import ActionKind
 
 
 def maximal_progress_cut(automaton: IOIMC) -> IOIMC:
@@ -28,17 +27,19 @@ def maximal_progress_cut(automaton: IOIMC) -> IOIMC:
     such transitions are urgent, hence no exponential delay can ever elapse in
     the state.
     """
+    index = automaton.index()
+    stable = index.stable
     changed = False
     markovian: list[list[tuple[float, int]]] = []
-    for state in automaton.states():
-        if automaton.markovian[state] and not automaton.is_stable(state):
+    for state, row in enumerate(automaton.markovian):
+        if row and not stable[state]:
             markovian.append([])
             changed = True
         else:
-            markovian.append(automaton.markovian[state])
+            markovian.append(row)
     if not changed:
         return automaton
-    return IOIMC(
+    cut = IOIMC.trusted(
         automaton.name,
         automaton.signature,
         automaton.num_states,
@@ -48,6 +49,9 @@ def maximal_progress_cut(automaton: IOIMC) -> IOIMC:
         automaton.labels,
         automaton.state_names,
     )
+    # The interactive table is untouched: share the interned-action index.
+    cut._index = index.adopt(cut)
+    return cut
 
 
 def eliminate_vanishing_chains(automaton: IOIMC) -> IOIMC:
@@ -66,17 +70,21 @@ def eliminate_vanishing_chains(automaton: IOIMC) -> IOIMC:
     mark, e.g., the fully repaired state as ``down`` just because the repair
     announcements passed through a momentarily-failed configuration).
     """
+    internals = automaton.signature.internals
+    if not internals:
+        return automaton  # no internal actions, hence no vanishing chains
+    inputs = automaton.signature.inputs
+    markovian_rows = automaton.markovian
     redirect: dict[int, int] = {}
-    for state in automaton.states():
-        if automaton.markovian[state]:
+    for state, row in enumerate(automaton.interactive):
+        if markovian_rows[state]:
             continue
         internal_targets = []
         only_self_loops = True
-        for action, target in automaton.interactive[state]:
-            kind = automaton.signature.kind_of(action)
-            if kind is ActionKind.INTERNAL:
+        for action, target in row:
+            if action in internals:
                 internal_targets.append(target)
-            elif kind is ActionKind.INPUT and target == state:
+            elif action in inputs and target == state:
                 continue
             else:
                 only_self_loops = False
@@ -118,7 +126,7 @@ def eliminate_vanishing_chains(automaton: IOIMC) -> IOIMC:
         for rate, target in automaton.markovian[old]:
             markovian[new].append((rate, mapping[target]))
 
-    reduced = IOIMC(
+    reduced = IOIMC.trusted(
         automaton.name,
         automaton.signature,
         len(kept),

@@ -1,0 +1,120 @@
+"""Splitter-worklist partition refinement shared by all minimisation passes.
+
+The seed implementation refined by global rounds: every round recomputed the
+signature of *every* state and re-grouped the whole state space, giving
+``O(rounds * (states + transitions))`` work even when a round split a single
+block.  This module implements the standard Paige–Tarjan-style alternative:
+
+* blocks live on a *worklist*; only blocks whose states may have changed
+  signature are ever re-examined;
+* when a block splits, exactly the blocks containing *observers* of its
+  states (predecessors, or any state whose signature reads the block id of a
+  state in the split block) are put back on the worklist;
+* the final block numbering is canonicalised to first-occurrence order, which
+  is exactly the numbering the round-based implementation produced — so the
+  rewrite is a drop-in replacement, bit-identical downstream.
+
+For the signature functionals used here (strong bisimulation, the weak
+signature of :mod:`repro.lumping.weak`, ordinary CTMC lumpability) the
+coarsest stable partition is unique, so the processing order of the worklist
+cannot change the result, only the running time.  Total work is bounded by
+``O(splits * (block size + observer edges))`` which in practice is close to
+``O((states + transitions) * log states)`` — the textbook bound — instead of
+the seed's quadratic behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Sequence
+
+from .partition import Partition
+
+#: A signature function: ``signature(state, block_of) -> hashable key``.
+SignatureFn = Callable[[int, Sequence[int]], Hashable]
+
+
+def refine_with_worklist(
+    initial_keys: Sequence[Hashable],
+    signature_of: SignatureFn,
+    observers_of: Sequence[Sequence[int]],
+) -> Partition:
+    """Refine the partition induced by ``initial_keys`` to the coarsest
+    partition stable under ``signature_of``.
+
+    Parameters
+    ----------
+    initial_keys:
+        One hashable key per state; states with equal keys start in the same
+        block (same contract as :meth:`Partition.from_keys`).
+    signature_of:
+        ``signature_of(state, block_of)`` returns the hashable refinement
+        signature of ``state`` against the current block assignment.  It must
+        be *monotone*: states with equal signatures under a finer stable
+        partition also have equal signatures under any coarser one — all
+        bisimulation-style signatures are.
+    observers_of:
+        For every state ``x``, the states whose signature reads
+        ``block_of[x]`` (typically the predecessors of ``x``).  When a block
+        splits, the blocks of the observers of its states are re-examined.
+    """
+    block_index: dict[Hashable, int] = {}
+    block_of: list[int] = []
+    for key in initial_keys:
+        block_of.append(block_index.setdefault(key, len(block_index)))
+    members: list[list[int]] = [[] for _ in range(len(block_index))]
+    for state, block in enumerate(block_of):
+        members[block].append(state)
+
+    worklist: deque[int] = deque(
+        block for block, states in enumerate(members) if len(states) > 1
+    )
+    queued: list[bool] = [len(states) > 1 for states in members]
+
+    while worklist:
+        block = worklist.popleft()
+        queued[block] = False
+        states = members[block]
+        if len(states) <= 1:
+            continue
+        groups: dict[Hashable, list[int]] = {}
+        for state in states:
+            groups.setdefault(signature_of(state, block_of), []).append(state)
+        if len(groups) == 1:
+            continue
+
+        # Split: the first group keeps the old block id, the rest get fresh
+        # ids.  Insertion order of ``groups`` is first-occurrence order, so
+        # the assignment is deterministic.
+        group_iter = iter(groups.values())
+        members[block] = next(group_iter)
+        for group in group_iter:
+            fresh = len(members)
+            members.append(group)
+            queued.append(False)
+            for state in group:
+                block_of[state] = fresh
+
+        # Every state of the former block may now be distinguished from its
+        # old block-mates, so any block containing an observer of any of them
+        # must be re-examined.
+        touched: set[int] = set()
+        for group in groups.values():
+            for state in group:
+                for observer in observers_of[state]:
+                    touched.add(block_of[observer])
+        for candidate in touched:
+            if not queued[candidate] and len(members[candidate]) > 1:
+                queued[candidate] = True
+                worklist.append(candidate)
+
+    # Canonical numbering: first occurrence over the state order, matching
+    # what iterated Partition.refine produced.
+    renumber: dict[int, int] = {}
+    for block in block_of:
+        if block not in renumber:
+            renumber[block] = len(renumber)
+    return Partition([renumber[block] for block in block_of])
+
+
+__all__ = ["refine_with_worklist"]

@@ -14,96 +14,168 @@ bisimulation for I/O-IMCs under the maximal-progress assumption:
   Markovian rate into every class, and a state must be able to reach a stable
   state by tau moves iff its partner can, ending in the same class.
 
-On tau-deterministic models — which is what the Arcade translation produces
-after :func:`~repro.lumping.reductions.maximal_progress_cut` — this partition
-coincides with weak IMC bisimulation.  The implementation favours clarity
-over asymptotic efficiency: the tau-closure is recomputed per refinement
-round, which is perfectly adequate for the intermediate models produced by
-the composer (thousands of states) but would not scale to millions.
+Algorithm
+---------
+Everything that does not depend on the evolving partition is computed exactly
+once, up front, from the automaton's :class:`~repro.ioimc.TransitionIndex`:
+
+* the tau-closure of every state (the seed recomputed signatures over it
+  every refinement round);
+* the weak visible moves ``tau* a tau*`` of every state, keyed by interned
+  integer action ids;
+* for every Markovian target, the *attribution states* whose class receives
+  the rate (see below);
+* the dependency relation "state ``s``'s signature reads ``block_of[x]``",
+  inverted into the observer lists the splitter-worklist engine of
+  :mod:`repro.lumping.refinement` needs.
+
+Each refinement step then only re-groups the blocks actually touched by the
+previous split, and a signature evaluation is a handful of list lookups.  The
+per-round full recomputation of the seed (quadratic in practice) is gone;
+total work is near-linear in the precomputed dependency structure.
+
+Markovian rate attribution
+--------------------------
+A Markovian move ``p --rate--> t`` of a stable state ``p`` may be followed by
+internal steps before the next observable point.  The rate is attributed to
+the class of the states where the internal moves are *exhausted*: the
+tau-sinks reachable from ``t`` (or, on a tau-cycle without sinks, the whole
+closure).  When those attribution states span several classes the internal
+branching is genuinely nondeterministic and no single class can receive the
+rate; this raises :class:`~repro.errors.LumpingError` instead of silently
+picking an arbitrary class (the seed attributed the rate to the
+maximum-numbered reachable block, which mis-states the Markovian behaviour
+of tau-nondeterministic models).
 """
 
 from __future__ import annotations
 
+from ..errors import LumpingError
 from ..ioimc import IOIMC
-from ..ioimc.actions import ActionKind
 from .partition import Partition
+from .refinement import refine_with_worklist
 from .strong import LumpingResult
-
-
-def _tau_closure(automaton: IOIMC) -> list[set[int]]:
-    """For every state, the set of states reachable via zero or more tau steps."""
-    internal_successors: list[list[int]] = [[] for _ in automaton.states()]
-    for state in automaton.states():
-        for action, target in automaton.interactive[state]:
-            if automaton.signature.kind_of(action) is ActionKind.INTERNAL:
-                internal_successors[state].append(target)
-    closure: list[set[int]] = []
-    for state in automaton.states():
-        reached = {state}
-        stack = [state]
-        while stack:
-            current = stack.pop()
-            for successor in internal_successors[current]:
-                if successor not in reached:
-                    reached.add(successor)
-                    stack.append(successor)
-        closure.append(reached)
-    return closure
 
 
 def weak_bisimulation_partition(
     automaton: IOIMC, *, respect_labels: bool = True
 ) -> Partition:
     """Compute a weak-bisimulation partition of ``automaton``."""
-    closure = _tau_closure(automaton)
-    visible_kinds = (ActionKind.INPUT, ActionKind.OUTPUT)
+    index = automaton.index()
+    closure = index.tau_closure()
+    interactive = index.interactive_ids()
+    internal_successors = index.internal_successors
+    is_visible_action = index.is_visible
+    stable = index.stable
+    markovian = automaton.markovian
+    num_states = automaton.num_states
 
     if respect_labels:
         initial_keys = [automaton.label_of(state) for state in automaton.states()]
     else:
-        initial_keys = [frozenset() for _ in automaton.states()]
-    partition = Partition.from_keys(initial_keys)
+        initial_keys = [frozenset()] * num_states
 
-    def stable(state: int) -> bool:
-        return automaton.is_stable(state)
-
-    def signature(state: int) -> tuple:
-        # Weak visible moves: tau* a tau*
-        weak_moves: set[tuple[str, int]] = set()
+    # -------------------------------------------------------------- #
+    # partition-independent precomputation (once, not per round)
+    # -------------------------------------------------------------- #
+    # Weak visible moves tau* a tau*: deduplicated (action_id, landing) pairs.
+    weak_moves: list[list[tuple[int, int]]] = []
+    for state in range(num_states):
+        moves: set[tuple[int, int]] = set()
         for pre in closure[state]:
-            for action, target in automaton.interactive[pre]:
-                kind = automaton.signature.kind_of(action)
-                if kind not in visible_kinds:
+            for action_id, target in interactive[pre]:
+                if not is_visible_action[action_id]:
                     continue
                 for post in closure[target]:
-                    weak_moves.add((action, partition.block_of[post]))
-        # Weak tau moves: blocks reachable by tau*.
-        tau_blocks = frozenset(partition.block_of[post] for post in closure[state])
-        # Markovian behaviour of the stable states reachable by tau*.
+                    moves.add((action_id, post))
+        weak_moves.append(sorted(moves))
+
+    # Stable states reachable by tau* from every state.
+    stable_posts: list[list[int]] = [
+        [post for post in closure[state] if stable[post]] for state in range(num_states)
+    ]
+
+    # For every Markovian target of a reachable stable state: the states whose
+    # class receives the rate — the tau-sinks of the target (fall back to the
+    # whole closure on sink-free tau-cycles).
+    attribution: dict[int, tuple[int, ...]] = {}
+
+    def attribution_states(target: int) -> tuple[int, ...]:
+        cached = attribution.get(target)
+        if cached is None:
+            sinks = [
+                landing
+                for landing in closure[target]
+                if not internal_successors[landing]
+            ]
+            cached = tuple(sinks if sinks else closure[target])
+            attribution[target] = cached
+        return cached
+
+    # Dependency relation: which states' blocks does sig(state) read?
+    observers: list[list[int]] = [[] for _ in range(num_states)]
+    for state in range(num_states):
+        reads: set[int] = set(closure[state])
+        reads.update(post for _, post in weak_moves[state])
+        for post in stable_posts[state]:
+            for _, target in markovian[post]:
+                reads.update(attribution_states(target))
+        for read in reads:
+            observers[read].append(state)
+
+    def signature(state: int, block_of) -> tuple:
+        moves = frozenset(
+            (action_id, block_of[post]) for action_id, post in weak_moves[state]
+        )
+        tau_blocks = frozenset(block_of[post] for post in closure[state])
         stable_profiles: set[tuple] = set()
-        for post in closure[state]:
-            if not stable(post):
-                continue
+        for post in stable_posts[state]:
             rates: dict[int, float] = {}
-            for rate, target in automaton.markovian[post]:
-                # Markovian moves may be followed by tau steps before the next
-                # observable point; attribute the rate to the class of the
-                # state actually reached (tau-deterministic models reach a
-                # single class).
-                reached_blocks = sorted(
-                    {partition.block_of[landing] for landing in closure[target]}
-                )
-                block = reached_blocks[-1]
+            for rate, target in markovian[post]:
+                landing_blocks = {
+                    block_of[landing] for landing in attribution_states(target)
+                }
+                if len(landing_blocks) > 1:
+                    raise _ambiguous_attribution(automaton, post, rate, target, landing_blocks)
+                block = next(iter(landing_blocks))
                 rates[block] = rates.get(block, 0.0) + rate
             profile = tuple(
                 sorted((block, float(f"{rate:.9e}")) for block, rate in rates.items())
             )
-            stable_profiles.add((partition.block_of[post], profile))
-        return (frozenset(weak_moves), tau_blocks, frozenset(stable_profiles))
+            stable_profiles.add((block_of[post], profile))
+        return (moves, tau_blocks, frozenset(stable_profiles))
 
-    while partition.refine(signature):
-        pass
+    partition = refine_with_worklist(initial_keys, signature, observers)
+
+    # The worklist engine never evaluates signatures of singleton blocks, so
+    # an ambiguous attribution may go unnoticed during refinement.  Blocks
+    # only ever split, hence any ambiguity persists into the final partition:
+    # one validation pass over the stable states catches every case.
+    block_of = partition.block_of
+    for post in range(num_states):
+        if not stable[post]:
+            continue
+        for rate, target in markovian[post]:
+            landing_blocks = {
+                block_of[landing] for landing in attribution_states(target)
+            }
+            if len(landing_blocks) > 1:
+                raise _ambiguous_attribution(
+                    automaton, post, rate, target, landing_blocks
+                )
     return partition
+
+
+def _ambiguous_attribution(
+    automaton: IOIMC, source: int, rate: float, target: int, landing_blocks: set[int]
+) -> LumpingError:
+    return LumpingError(
+        f"{automaton.name}: Markovian transition "
+        f"{automaton.state_name(source)} --{rate}--> "
+        f"{automaton.state_name(target)} reaches {len(landing_blocks)} distinct "
+        "equivalence classes via nondeterministic internal branching; the rate "
+        "cannot be attributed to a single class (the model is not tau-confluent)"
+    )
 
 
 def minimize_weak(automaton: IOIMC, *, respect_labels: bool = True) -> LumpingResult:
@@ -121,19 +193,46 @@ def minimize_weak(automaton: IOIMC, *, respect_labels: bool = True) -> LumpingRe
 
 
 def _weak_quotient(automaton: IOIMC, partition) -> IOIMC:
-    """Branching-style quotient: drop intra-class taus, prefer stable representatives."""
+    """Weak-bisimulation quotient: union of non-inert moves, stable rates.
+
+    The interactive moves of a class are the union of its members' moves into
+    *other* classes (plus non-internal self-class moves): under a weak
+    partition two members need not enable the same direct transitions — one
+    may reach a class only through a tau-chain passing another member — so
+    taking a single representative's outgoing transitions can disconnect
+    weakly-reachable classes (that bug survived in the seed until the
+    differential suite caught it).
+
+    The Markovian behaviour of a class is taken from one of its *stable*
+    members: all stable members of a class agree on their cumulative rates by
+    construction of the partition, and unstable members cannot let time pass
+    (maximal progress).
+    """
+    index = automaton.index()
     block_of = partition.block_of
     num_blocks = partition.num_blocks
+    stable = index.stable
+    internals = automaton.signature.internals
+
+    #: Per class: a member whose name/labels/rates describe the class —
+    #: stable members are preferred (they carry the tangible behaviour).
     representative: list[int | None] = [None] * num_blocks
+    interactive: list[list[tuple[str, int]]] = [[] for _ in range(num_blocks)]
+    seen: list[set[tuple[str, int]]] = [set() for _ in range(num_blocks)]
     for state in automaton.states():
         block = block_of[state]
-        if representative[block] is None or (
-            automaton.is_stable(state)
-            and not automaton.is_stable(representative[block])  # type: ignore[arg-type]
-        ):
+        current = representative[block]
+        if current is None or (stable[state] and not stable[current]):
             representative[block] = state
+        for action, target in automaton.interactive[state]:
+            target_block = block_of[target]
+            if target_block == block and action in internals:
+                continue  # inert: internal move inside the class
+            entry = (action, target_block)
+            if entry not in seen[block]:
+                seen[block].add(entry)
+                interactive[block].append(entry)
 
-    interactive: list[list[tuple[str, int]]] = [[] for _ in range(num_blocks)]
     markovian: list[list[tuple[float, int]]] = [[] for _ in range(num_blocks)]
     labels: dict[int, frozenset[str]] = {}
     names: list[str] = []
@@ -143,24 +242,12 @@ def _weak_quotient(automaton: IOIMC, partition) -> IOIMC:
         props = automaton.label_of(state)
         if props:
             labels[block] = props
-        seen: set[tuple[str, int]] = set()
-        for action, target in automaton.interactive[state]:
-            target_block = block_of[target]
-            if (
-                automaton.signature.kind_of(action) is ActionKind.INTERNAL
-                and target_block == block
-            ):
-                continue
-            entry = (action, target_block)
-            if entry not in seen:
-                seen.add(entry)
-                interactive[block].append(entry)
         rates: dict[int, float] = {}
         for rate, target in automaton.markovian[state]:
             rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate
         markovian[block] = [(rate, target) for target, rate in sorted(rates.items())]
 
-    quotient = IOIMC(
+    quotient = IOIMC.trusted(
         automaton.name,
         automaton.signature,
         num_blocks,

@@ -1,0 +1,70 @@
+"""Shared pytest configuration: markers and differential-suite gating.
+
+Markers
+-------
+``slow``
+    Paper-reproduction tests that run a full compositional-aggregation
+    pipeline (seconds, not milliseconds).  They are part of tier-1 and run by
+    default; deselect them during quick iteration with ``-m "not slow"``.
+``differential``
+    The cross-validation suite under ``tests/differential/``: seeded random
+    Arcade models whose measures are checked against three independent
+    oracles (flat composition, the reduced compositional pipeline, and the
+    Monte-Carlo simulator).  Skipped by default to keep tier-1 fast; enable
+    with ``--run-differential``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def dds_full_evaluator():
+    """The full DDS compositional-aggregation run (the suite's most expensive
+    artefact) — built once and shared by the case-study and golden tests."""
+    from repro.casestudies.dds import build_dds_evaluator
+
+    return build_dds_evaluator()
+
+
+@pytest.fixture(scope="session")
+def dds_modular_evaluator():
+    from repro.casestudies.dds import build_dds_modular_evaluator
+
+    return build_dds_modular_evaluator()
+
+
+@pytest.fixture(scope="session")
+def rcs_modular_evaluator():
+    from repro.casestudies.rcs import build_rcs_modular_evaluator
+
+    return build_rcs_modular_evaluator()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-differential",
+        action="store_true",
+        default=False,
+        help="run the differential cross-validation suite (tests/differential/)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: full pipeline runs that take seconds (run by default)"
+    )
+    config.addinivalue_line(
+        "markers",
+        "differential: randomised cross-validation suite (needs --run-differential)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-differential"):
+        return
+    skip_differential = pytest.mark.skip(
+        reason="differential suite disabled (pass --run-differential to enable)"
+    )
+    for item in items:
+        if "differential" in item.keywords:
+            item.add_marker(skip_differential)

@@ -1,0 +1,1 @@
+"""Differential cross-validation suite (enabled with ``--run-differential``)."""

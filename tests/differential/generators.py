@@ -1,0 +1,111 @@
+"""Seeded random Arcade-model generator for the differential suite.
+
+Every model produced here is
+
+* *valid* — it passes :meth:`ArcadeModel.validate`;
+* *small* — 2 to 4 basic components, so the flat (non-compositional)
+  baseline can build the full product without exceeding its state budget;
+* *deterministic* — the same seed always yields the same model, so failures
+  are reproducible by seed number alone.
+
+The generator deliberately samples the constructs the reduction engine has
+to get right: shared FCFS repair queues (which create tau-interleavings that
+the weak reduction must keep confluent), dedicated repair, cold-spare pairs
+managed by a spare-management unit, and random AND/OR/K-out-of-N failure
+criteria over the component ``down`` literals.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.arcade import (
+    ArcadeModel,
+    BasicComponent,
+    RepairStrategy,
+    RepairUnit,
+    SpareManagementUnit,
+    down,
+    k_of_n,
+    spare_group,
+)
+from repro.arcade.expressions import And, Expression, Or
+from repro.distributions import Exponential
+
+
+def random_arcade_model(seed: int) -> ArcadeModel:
+    """Build a random, valid, small Arcade model from ``seed``."""
+    rng = random.Random(seed)
+    model = ArcadeModel(name=f"random_model_{seed}")
+
+    num_components = rng.randint(2, 4)
+    names = [f"c{index}" for index in range(num_components)]
+
+    with_spare = num_components >= 3 and rng.random() < 0.4
+    for position, name in enumerate(names):
+        failure_rate = rng.uniform(0.05, 0.4)
+        repair_rate = rng.uniform(0.5, 2.0)
+        if with_spare and position == 1:
+            # c1 is a spare for c0, managed by an SMU below; it needs an
+            # active/inactive operational-mode group and one TTF per mode.
+            model.add_component(
+                BasicComponent(
+                    name,
+                    operational_modes=[spare_group()],
+                    time_to_failures=[
+                        Exponential(failure_rate * rng.uniform(0.3, 1.0)),  # inactive
+                        Exponential(failure_rate),  # active
+                    ],
+                    time_to_repairs=Exponential(repair_rate),
+                )
+            )
+        else:
+            model.add_component(
+                BasicComponent(
+                    name,
+                    time_to_failures=Exponential(failure_rate),
+                    time_to_repairs=Exponential(repair_rate),
+                )
+            )
+    if with_spare:
+        model.add_spare_unit(SpareManagementUnit("smu", primary="c0", spares=["c1"]))
+
+    # Partition the components over one or two repair units.  A dedicated
+    # repairman serves exactly one component; shared queues use FCFS.
+    if num_components >= 3 and rng.random() < 0.5:
+        cut = rng.randint(1, num_components - 1)
+        groups = [names[:cut], names[cut:]]
+    else:
+        groups = [names]
+    for index, group in enumerate(groups):
+        if len(group) == 1 and rng.random() < 0.5:
+            strategy = RepairStrategy.DEDICATED
+        else:
+            strategy = RepairStrategy.FCFS
+        model.add_repair_unit(RepairUnit(f"rep{index}", group, strategy))
+
+    model.set_system_down(_random_failure_criterion(rng, names))
+    model.validate()
+    return model
+
+
+def _random_failure_criterion(rng: random.Random, names: list[str]) -> Expression:
+    """A random fault tree over the component ``down`` literals."""
+    literals = [down(name) for name in names]
+    shape = rng.random()
+    if len(names) == 2:
+        return And(literals) if shape < 0.5 else Or(literals)
+    if shape < 0.35:
+        # All components down.
+        return And(literals)
+    if shape < 0.6:
+        # K out of N.
+        k = rng.randint(2, len(names) - 1)
+        return k_of_n(k, literals)
+    # An OR of two overlapping AND pairs.
+    first = rng.sample(literals, 2)
+    second = rng.sample(literals, 2)
+    return Or([And(first), And(second)])
+
+
+__all__ = ["random_arcade_model"]

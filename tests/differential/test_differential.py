@@ -1,0 +1,121 @@
+"""Differential testing of the reduction engine against independent oracles.
+
+For every seeded random Arcade model (see :mod:`generators`) the measures
+computed through the *composed + reduced* pipeline must agree
+
+1. **exactly** (1e-9) with the flat, non-compositional baseline
+   (:func:`repro.baselines.flat.flat_compose`) — same semantics, no
+   intermediate reduction at all — under both strong and weak reduction;
+2. **statistically** with the discrete-event Monte-Carlo simulator
+   (:class:`repro.simulation.ArcadeSimulator`), an entirely separate
+   implementation of the Arcade semantics that never builds a state space.
+
+Together with the golden pins of ``tests/test_golden_regression.py`` this is
+the safety net that lets the lumping/composition engine be rewritten for
+speed: a mis-attributed rate, a wrong split or an over-eager merge shows up
+as a measurable disagreement on some seed.
+
+Run with ``pytest tests/differential --run-differential``.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import ArcadeEvaluator
+from repro.arcade.semantics import translate_model
+from repro.baselines.flat import flat_compose
+from repro.ctmc import point_availability, steady_state_unavailability, unreliability
+
+from .generators import random_arcade_model
+
+pytestmark = pytest.mark.differential
+
+#: Random-model seeds for the exact (flat-baseline) cross-check.
+SEEDS = list(range(30))
+#: Subset cross-checked against the (slower) Monte-Carlo simulator.
+SIMULATION_SEEDS = [0, 5, 11, 17, 23]
+#: Mission time for the unreliability comparisons.
+HORIZON = 10.0
+#: Trajectories per simulated model.
+SIMULATION_RUNS = 3000
+
+#: Flat-baseline measures, computed once per seed (shared by both reductions).
+_flat_cache: dict[int, tuple[float, float]] = {}
+
+
+def flat_oracle(seed: int) -> tuple[float, float]:
+    """(unavailability, unreliability at HORIZON) from the flat baseline."""
+    if seed not in _flat_cache:
+        model = random_arcade_model(seed)
+        flat = flat_compose(translate_model(model))
+        assert flat.completed, f"flat baseline exceeded its budget on seed {seed}"
+        unavailability = steady_state_unavailability(flat.ctmc)
+        no_repair = flat_compose(translate_model(model.without_repair()))
+        assert no_repair.completed
+        unreliability_value = unreliability(no_repair.ctmc, HORIZON)
+        _flat_cache[seed] = (unavailability, unreliability_value)
+    return _flat_cache[seed]
+
+
+def test_enough_models_are_generated():
+    assert len(SEEDS) >= 25
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_generated_models_are_valid(seed):
+    model = random_arcade_model(seed)
+    model.validate()
+    assert model.components
+    # Determinism: the same seed yields the same model.
+    again = random_arcade_model(seed)
+    assert model.summary() == again.summary()
+    assert str(model.system_down) == str(again.system_down)
+
+
+@pytest.mark.parametrize("reduction", ["strong", "weak"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_composed_reduced_agrees_with_flat(seed, reduction):
+    """Composed+reduced measures match the flat baseline to 1e-9."""
+    flat_unavailability, flat_unreliability = flat_oracle(seed)
+    evaluator = ArcadeEvaluator(random_arcade_model(seed), reduction=reduction)
+    assert evaluator.unavailability() == pytest.approx(
+        flat_unavailability, rel=1e-9, abs=1e-9
+    )
+    assert evaluator.unreliability(HORIZON) == pytest.approx(
+        flat_unreliability, rel=1e-9, abs=1e-9
+    )
+
+
+@pytest.mark.parametrize("seed", SIMULATION_SEEDS)
+def test_simulation_agrees_statistically(seed):
+    """The Monte-Carlo simulator agrees within its sampling noise.
+
+    Both checks compare a binomial proportion over SIMULATION_RUNS
+    trajectories against the analytic value; the tolerance is five standard
+    errors plus a small floor for the Monte-Carlo edge cases.
+    """
+    model = random_arcade_model(seed)
+    evaluator = ArcadeEvaluator(model, reduction="strong")
+    # The simulator runs the *repairable* model and records the first system
+    # failure, i.e. the first-passage unreliability (assume_no_repair=False).
+    analytic_unreliability = evaluator.unreliability(HORIZON, assume_no_repair=False)
+    analytic_point_unavailability = 1.0 - point_availability(evaluator.ctmc, HORIZON)
+
+    estimate = ArcadeSimulatorFactory(model, seed).estimate(HORIZON, SIMULATION_RUNS)
+
+    def tolerance(p: float) -> float:
+        return 5.0 * math.sqrt(max(p * (1.0 - p), 1e-6) / SIMULATION_RUNS) + 0.004
+
+    assert abs(estimate.unreliability - analytic_unreliability) < tolerance(
+        analytic_unreliability
+    )
+    assert abs(
+        estimate.point_unavailability - analytic_point_unavailability
+    ) < tolerance(analytic_point_unavailability)
+
+
+def ArcadeSimulatorFactory(model, seed):
+    from repro.simulation import ArcadeSimulator
+
+    return ArcadeSimulator(model, seed=seed + 1000)

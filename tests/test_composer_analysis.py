@@ -60,6 +60,54 @@ class TestComposerPipeline:
         assert statistics.largest_intermediate_states > 0
         assert len(statistics.as_table()) >= 4
 
+    def test_statistics_record_wall_clock(self):
+        evaluator = ArcadeEvaluator(quickstart_model())
+        evaluator.availability()
+        statistics = evaluator.composed.statistics
+        assert statistics.total_compose_seconds > 0.0
+        assert statistics.total_reduce_seconds > 0.0
+        assert statistics.total_seconds == pytest.approx(
+            statistics.total_compose_seconds + statistics.total_reduce_seconds
+        )
+        for row in statistics.as_table():
+            assert row["compose_s"] >= 0.0
+            assert row["reduce_s"] >= 0.0
+
+    def test_reduce_every_n_preserves_measures(self):
+        baseline = ArcadeEvaluator(quickstart_model())
+        sparse = ArcadeEvaluator(quickstart_model(), reduce_every_n=3)
+        assert sparse.availability() == pytest.approx(baseline.availability(), rel=1e-9)
+        steps = sparse.composed.statistics.steps
+        assert any(not step.reduced for step in steps)
+        assert any(step.reduced for step in steps)
+
+    def test_adaptive_reduction_threshold_forces_reduction(self):
+        # With an absurdly low threshold every step must be reduced even on a
+        # sparse schedule.
+        adaptive = ArcadeEvaluator(
+            quickstart_model(), reduce_every_n=100, adaptive_reduction_states=1
+        )
+        baseline = ArcadeEvaluator(quickstart_model())
+        assert adaptive.availability() == pytest.approx(
+            baseline.availability(), rel=1e-9
+        )
+        assert all(step.reduced for step in adaptive.composed.statistics.steps)
+
+    def test_reduce_every_n_must_be_positive(self):
+        translated = translate_model(quickstart_model())
+        with pytest.raises(CompositionError):
+            Composer(translated, reduce_every_n=0)
+
+    def test_recomposing_does_not_accumulate_statistics(self):
+        composer = Composer(translate_model(quickstart_model()))
+        first = composer.compose()
+        steps_first = len(first.statistics.steps)
+        second = composer.compose()
+        assert len(second.statistics.steps) == steps_first
+        assert second.statistics.final_reduce_seconds <= (
+            first.statistics.final_reduce_seconds + second.statistics.total_seconds
+        )
+
     def test_reduction_none_gives_same_measures(self):
         baseline = ArcadeEvaluator(quickstart_model(), reduction="strong")
         unreduced = ArcadeEvaluator(quickstart_model(), reduction="none")
@@ -131,11 +179,13 @@ class TestHierarchicalOrder:
             hierarchical_order(translated, groups)
 
     def test_hierarchical_order_matches_default(self):
-        model = series_of_parallel_model(3, 2)
+        # A 2x2 system exercises the same ordering logic as larger instances
+        # (test_gates_scheduled_automatically covers the 3-stage gate tree).
+        model = series_of_parallel_model(2, 2)
         translated = translate_model(model)
-        order = hierarchical_order(translated, series_of_parallel_groups(3, 2))
+        order = hierarchical_order(translated, series_of_parallel_groups(2, 2))
         hierarchical = compose_model(translated, order=order)
-        translated2 = translate_model(series_of_parallel_model(3, 2))
+        translated2 = translate_model(series_of_parallel_model(2, 2))
         default = compose_model(translated2)
         from repro.ctmc import steady_state_availability
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.ctmc import extract_ctmc, steady_state_availability
+from repro.errors import LumpingError
 from repro.ioimc import IOIMCBuilder, Signature, compose, hide
 from repro.lumping import (
     eliminate_vanishing_chains,
@@ -10,6 +11,7 @@ from repro.lumping import (
     minimize_strong,
     minimize_weak,
     strong_bisimulation_partition,
+    weak_bisimulation_partition,
 )
 
 
@@ -169,3 +171,144 @@ class TestWeakBisimulation:
         automaton = builder.build()
         weak = minimize_weak(automaton).quotient
         assert weak.num_states == 1
+
+
+class TestWeakRateAttribution:
+    """Regression tests for the Markovian-rate attribution of the weak engine.
+
+    The seed attributed the rate of ``p --rate--> t`` to the *maximum-numbered*
+    block reachable from ``t`` by tau steps — an arbitrary pick whenever the
+    closure crossed several classes.  The rewritten engine attributes the rate
+    to the class of the tau-sinks of ``t`` and raises ``LumpingError`` when
+    genuinely nondeterministic internal branching makes that ambiguous.
+    """
+
+    def test_nondeterministic_multi_class_target_raises(self):
+        builder = IOIMCBuilder(
+            "nondet", Signature.create(outputs={"x"}, internals={"tau"})
+        )
+        builder.state("s", initial=True)
+        builder.markovian("s", 1.0, "t")
+        # t branches internally into two states with *different* weak
+        # behaviour: u can do x forever, v deadlocks.
+        builder.interactive("t", "tau", "u")
+        builder.interactive("t", "tau", "v")
+        builder.interactive("u", "x", "u")
+        with pytest.raises(LumpingError):
+            weak_bisimulation_partition(builder.build())
+
+    def test_confluent_branching_is_accepted(self):
+        builder = IOIMCBuilder(
+            "confluent", Signature.create(internals={"tau"})
+        )
+        builder.state("s", initial=True)
+        builder.markovian("s", 2.0, "t")
+        # t branches internally, but both branches deadlock: the sinks are
+        # weakly bisimilar, so the attribution is unambiguous.
+        builder.interactive("t", "tau", "u")
+        builder.interactive("t", "tau", "v")
+        result = minimize_weak(builder.build())
+        assert result.quotient.num_states == 2
+        assert result.quotient.exit_rate(result.quotient.initial) == pytest.approx(2.0)
+
+    def test_deterministic_chain_attributes_to_sink_class(self):
+        """A tau chain crossing classes attributes the rate to the chain's end.
+
+        ``s1`` moves Markovianly into the chain ``t --tau--> u`` while ``s2``
+        moves straight into ``u``.  Because the internal move is taken in zero
+        time, both land in ``u``'s class with the same rate and must be
+        weakly bisimilar.  The seed's max-numbered-block pick attributed
+        ``s1``'s rate to an arbitrary class of the closure and could split the
+        pair.
+        """
+        builder = IOIMCBuilder(
+            "chain", Signature.create(outputs={"x"}, internals={"tau"})
+        )
+        builder.state("s1", initial=True)
+        builder.state("s2")
+        builder.markovian("s1", 1.0, "t")
+        builder.markovian("s2", 1.0, "u")
+        # t and u are not weakly bisimilar: t offers the weak x-move.
+        builder.interactive("t", "x", "t")
+        builder.interactive("t", "tau", "u")
+        automaton = builder.build()
+        partition = weak_bisimulation_partition(automaton)
+        by_name = {automaton.state_name(state): state for state in automaton.states()}
+        assert partition.block_of[by_name["t"]] != partition.block_of[by_name["u"]]
+        assert partition.block_of[by_name["s1"]] == partition.block_of[by_name["s2"]]
+
+
+def reference_strong_partition(automaton):
+    """Naive round-based strong-bisimulation refinement (the seed algorithm).
+
+    Serves as the executable specification the worklist engine must match,
+    including the 9-significant-digit rate rounding of the signature.
+    """
+    from repro.lumping.partition import Partition
+
+    reference = Partition.from_keys(
+        [automaton.label_of(state) for state in automaton.states()]
+    )
+
+    def signature(state):
+        interactive = frozenset(
+            (action, reference.block_of[target])
+            for action, target in automaton.interactive[state]
+        )
+        rates = {}
+        for rate, target in automaton.markovian[state]:
+            block = reference.block_of[target]
+            rates[block] = rates.get(block, 0.0) + rate
+        markovian = tuple(
+            sorted((block, float(f"{rate:.9e}")) for block, rate in rates.items())
+        )
+        return (interactive, markovian)
+
+    while reference.refine(signature):
+        pass
+    return reference
+
+
+class TestWorklistRefinement:
+    """The worklist engine must agree with naive round-based refinement."""
+
+    def test_matches_round_based_refinement_on_composed_model(self):
+        machine = IOIMCBuilder("m", Signature.create(outputs={"f", "r"}))
+        machine.state("up", initial=True)
+        machine.markovian("up", 0.05, "pf")
+        machine.interactive("pf", "f", "down")
+        machine.label("pf", "down")
+        machine.label("down", "down")
+        machine.markovian("down", 1.0, "pr")
+        machine.interactive("pr", "r", "up")
+        automaton = maximal_progress_cut(hide(machine.build(), {"f", "r"}))
+
+        partition = strong_bisimulation_partition(automaton)
+        assert partition.block_of == reference_strong_partition(automaton).block_of
+
+    def test_matches_round_based_on_random_graphs(self):
+        import random
+
+        for seed in range(20):
+            rng = random.Random(seed)
+            num_states = rng.randint(2, 24)
+            builder = IOIMCBuilder(
+                f"rand{seed}", Signature.create(outputs={"a", "b"})
+            )
+            names = [f"n{index}" for index in range(num_states)]
+            builder.state(names[0], initial=True)
+            for name in names[1:]:
+                builder.state(name)
+            for source in names:
+                for _ in range(rng.randint(0, 3)):
+                    builder.interactive(
+                        source, rng.choice(["a", "b"]), rng.choice(names)
+                    )
+                if rng.random() < 0.6:
+                    builder.markovian(
+                        source, rng.choice([0.5, 1.0, 2.0]), rng.choice(names)
+                    )
+            automaton = builder.build()
+            partition = strong_bisimulation_partition(automaton)
+            reference = reference_strong_partition(automaton)
+            assert partition.block_of == reference.block_of, f"seed {seed}"
