@@ -1,0 +1,80 @@
+"""Export DDS pipeline phase timings as JSON (CI perf-trajectory artifact).
+
+Runs the full distributed-database-system compositional aggregation and
+writes a machine-readable breakdown of where the wall-clock went — the
+compose phase (parallel products + hiding) versus the reduce phase
+(maximal-progress cut, vanishing-chain elimination, bisimulation
+minimisation), plus per-step sizes.  CI uploads the file as the
+``dds-phase-timings`` artifact so the perf trajectory of the two hot paths
+is tracked across PRs (see ``.github/workflows/ci.yml``).
+
+Run with::
+
+    python benchmarks/export_dds_timings.py [output.json]
+"""
+
+# Allow running straight from a checkout: put src/ on the path when the
+# package is not installed (see docs/testing.md).
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import json
+import platform
+import time
+
+
+def collect_timings() -> dict:
+    from repro.casestudies.dds import MISSION_TIME_HOURS, build_dds_evaluator
+
+    started = time.perf_counter()
+    evaluator = build_dds_evaluator()
+    availability = evaluator.availability()
+    reliability = evaluator.reliability(MISSION_TIME_HOURS)
+    wall_clock = time.perf_counter() - started
+
+    statistics = evaluator.composed.statistics
+    return {
+        "benchmark": "dds_compositional_aggregation",
+        "python": platform.python_version(),
+        "measures": {
+            "availability": availability,
+            "reliability_5_weeks": reliability,
+        },
+        "phases": {
+            "compose_seconds": round(statistics.total_compose_seconds, 4),
+            "reduce_seconds": round(statistics.total_reduce_seconds, 4),
+            "total_pipeline_seconds": round(statistics.total_seconds, 4),
+            "wall_clock_seconds": round(wall_clock, 4),
+        },
+        "state_space": {
+            "composition_steps": len(statistics.steps),
+            "largest_intermediate_states": statistics.largest_intermediate_states,
+            "largest_intermediate_transitions": (
+                statistics.largest_intermediate_transitions
+            ),
+            "final_ctmc_states": evaluator.ctmc.num_states,
+            "final_ctmc_transitions": evaluator.ctmc.num_transitions,
+        },
+        "steps": statistics.as_table(),
+    }
+
+
+def main() -> None:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("dds-phase-timings.json")
+    timings = collect_timings()
+    output.write_text(json.dumps(timings, indent=2) + "\n")
+    phases = timings["phases"]
+    print(
+        f"wrote {output}: compose {phases['compose_seconds']}s, "
+        f"reduce {phases['reduce_seconds']}s "
+        f"({timings['state_space']['composition_steps']} steps)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,6 +12,16 @@ Run with::
     python examples/distributed_database.py --fast     # modular evaluation only
 """
 
+# Allow running straight from a checkout: put src/ on the path when the
+# package is not installed (see docs/testing.md).
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover - exercised by the examples CI job
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 import argparse
 import time
 

@@ -125,7 +125,42 @@ class ComposedSystem:
 
 
 class Composer:
-    """Performs compositional aggregation on a translated Arcade model."""
+    """Performs compositional aggregation on a translated Arcade model.
+
+    Parameters
+    ----------
+    translated:
+        The building-block I/O-IMCs and listener map produced by
+        :func:`repro.arcade.semantics.translate_model`.
+    order:
+        Composition order as a (possibly nested) sequence of block names;
+        nested groups are composed and reduced first, mirroring the
+        hierarchical subsystem structure of the case studies.  ``None``
+        falls back to the greedy heuristic of :meth:`default_order`.
+    reduction:
+        Bisimulation variant applied to every intermediate model:
+        ``"strong"`` (default; always sound, preserves every measure),
+        ``"weak"`` (tau-abstracting, closer to CADP's branching reduction)
+        or ``"none"``.
+    eliminate_vanishing:
+        Collapse tau-only vanishing chains between composition steps
+        (:func:`repro.lumping.eliminate_vanishing_chains`).
+    lump_final_ctmc:
+        Additionally lump the extracted CTMC modulo ordinary lumpability.
+    reduce_every_n:
+        Reduction *schedule*: run the reduction pipeline only on every n-th
+        composition step.  ``1`` (default) reduces after every step — the
+        paper's aggregation.  A sparser schedule trades larger intermediate
+        products for fewer minimisation passes, which pays off when the
+        blocks being merged share few actions; the per-step
+        ``compose_seconds``/``reduce_seconds`` recorded in
+        :class:`CompositionStatistics` are the data to tune it with.
+    adaptive_reduction_states:
+        Safety valve for sparse schedules: when set, an off-cycle step is
+        reduced anyway as soon as the intermediate product exceeds this many
+        states, so ``reduce_every_n > 1`` cannot let the state space
+        explode.  ``None`` (default) disables the override.
+    """
 
     def __init__(
         self,
@@ -333,7 +368,13 @@ def compose_model(
     reduce_every_n: int = 1,
     adaptive_reduction_states: int | None = None,
 ) -> ComposedSystem:
-    """One-call wrapper around :class:`Composer`."""
+    """One-call wrapper around :class:`Composer`.
+
+    Accepts the same keyword arguments (see the :class:`Composer` docstring
+    for the reduction policy — ``reduction``, ``reduce_every_n``,
+    ``adaptive_reduction_states``) and returns the fully composed
+    :class:`ComposedSystem` with its I/O-IMC, CTMC and per-step statistics.
+    """
     composer = Composer(
         translated,
         order=order,

@@ -7,15 +7,18 @@ This package provides the I/O-IMC formalism of Section 2 of the paper:
 * :func:`~repro.ioimc.composition.compose` — the parallel composition ``||``,
 * :func:`~repro.ioimc.hiding.hide` — the hiding operator,
 * :class:`~repro.ioimc.builder.IOIMCBuilder` — a named-state construction aid,
-* :class:`~repro.ioimc.indexed.TransitionIndex` — the interned-action,
-  integer-indexed view the fast refinement/reduction algorithms operate on.
+* :class:`~repro.ioimc.indexed.TransitionIndex` — the interned-action CSR
+  view (flat numpy adjacency arrays) the vectorised composition and
+  refinement/reduction engines operate on, with
+  :class:`~repro.ioimc.indexed.InteractiveCSR` /
+  :class:`~repro.ioimc.indexed.MarkovianCSR` as the raw table layout.
 """
 
 from .actions import TAU, ActionKind, Signature
 from .builder import IOIMCBuilder
 from .composition import compose, compose_many
 from .hiding import hide, hide_all_outputs
-from .indexed import TransitionIndex
+from .indexed import InteractiveCSR, MarkovianCSR, TransitionIndex
 from .ioimc import InteractiveTransition, IOIMC, MarkovianTransition
 from .visualization import to_dot, to_text
 
@@ -25,6 +28,8 @@ __all__ = [
     "Signature",
     "IOIMC",
     "IOIMCBuilder",
+    "InteractiveCSR",
+    "MarkovianCSR",
     "TransitionIndex",
     "InteractiveTransition",
     "MarkovianTransition",

@@ -40,26 +40,54 @@ def hide(automaton: IOIMC, actions: Iterable[str], *, rename_to_tau: bool = True
     if rename_to_tau:
         internals = (hidden_signature.internals - to_hide) | {TAU}
         signature = Signature(hidden_signature.inputs, hidden_signature.outputs, internals)
-        interactive = [
-            [
-                (TAU if action in to_hide else action, target)
-                for action, target in row
-            ]
-            for row in automaton.interactive
-        ]
+        if automaton._interactive is None:
+            # Lazy automaton (built from CSR tables): hiding only renames
+            # actions, so the hidden automaton stays lazy and its index is
+            # the old one with a remapped action column (no per-edge work).
+            interactive = None
+        else:
+            # Rows without a hidden action are shared with the source
+            # automaton (transition tables are immutable by convention) — on
+            # the composer's hiding schedule most rows are untouched by any
+            # single hide step.
+            interactive = []
+            for row in automaton.interactive:
+                for action, _ in row:
+                    if action in to_hide:
+                        interactive.append(
+                            [
+                                (TAU if action in to_hide else action, target)
+                                for action, target in row
+                            ]
+                        )
+                        break
+                else:
+                    interactive.append(row)
     else:
         signature = hidden_signature
         interactive = automaton.interactive
-    return IOIMC.trusted(
+    # Only the tau-renaming branch re-attaches a CSR index below; any other
+    # combination must hand over materialised rows (an automaton with None
+    # rows and no index would be unusable).
+    markovian = (
+        automaton._markovian if rename_to_tau and interactive is None
+        else automaton.markovian
+    )
+    hidden = IOIMC.trusted(
         automaton.name,
         signature,
         automaton.num_states,
         automaton.initial,
         interactive,
-        automaton.markovian,
+        markovian,
         automaton.labels,
         automaton.state_names,
     )
+    if rename_to_tau and automaton._index is not None:
+        hidden._index = automaton._index.with_renamed_actions(
+            hidden, {action: TAU for action in to_hide}
+        )
+    return hidden
 
 
 def hide_all_outputs(automaton: IOIMC) -> IOIMC:

@@ -1,4 +1,4 @@
-"""Interned-action, integer-indexed view of an I/O-IMC.
+"""Interned-action, integer-indexed CSR view of an I/O-IMC.
 
 The refinement and reduction algorithms spend most of their time asking the
 same questions about an automaton over and over: what kind is this action,
@@ -7,15 +7,28 @@ state's predecessors.  Answering them through the string-keyed
 :class:`~repro.ioimc.actions.Signature` (frozenset membership per query) is
 what made the seed implementation quadratic in practice.
 
-:class:`TransitionIndex` answers them in O(1) array lookups instead:
+:class:`TransitionIndex` answers them in O(1) array lookups instead, and it
+is the bridge between the Python-object transition tables of
+:class:`~repro.ioimc.IOIMC` and the vectorised (numpy) engines of
+:mod:`repro.lumping.refinement` and :mod:`repro.ioimc.composition`:
 
 * action names are *interned* to consecutive integer ids (sorted order, so
   ids are deterministic for a given signature);
-* per-state adjacency lists carry ``(action_id, target)`` pairs aligned with
-  the automaton's transition order, plus sorted copies for algorithms that
-  want binary-searchable adjacency;
+* the interactive relation is stored as a flat **CSR adjacency**
+  (:class:`InteractiveCSR`): an ``int64`` row-offset array plus aligned
+  ``int32`` source/action/target columns in the automaton's transition
+  order — the layout the ``np.unique``-based signature grouping and the
+  batched product construction operate on directly;
+* the Markovian relation is stored the same way (:class:`MarkovianCSR`,
+  ``float64`` rate column);
 * internal (tau) successor lists, a stability bit per state and cached
-  predecessor lists are precomputed once.
+  predecessor tables are derived from the arrays once and cached.
+
+Legacy list-of-tuples views (:meth:`TransitionIndex.interactive_ids`,
+:meth:`TransitionIndex.predecessors`, ...) are kept for algorithms and tests
+that still walk adjacency in Python; they are materialised lazily from the
+CSR arrays and are guaranteed to describe exactly the same transitions (see
+``tests/test_csr_backend.py`` for the round-trip property tests).
 
 An index is built lazily by :meth:`repro.ioimc.IOIMC.index` and cached on the
 automaton; I/O-IMCs are immutable after construction, so the cache can never
@@ -24,7 +37,82 @@ go stale.
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..nputil import csr_indptr
 from .actions import ActionKind
+
+
+class InteractiveCSR:
+    """Flat-array (CSR) form of an automaton's interactive relation.
+
+    The edges of state ``s`` occupy positions ``indptr[s]:indptr[s + 1]`` of
+    the aligned columns, in the automaton's transition order:
+
+    ``indptr``
+        ``int64`` row offsets, length ``num_states + 1``.
+    ``source``
+        ``int32`` source state per edge (the CSR expansion of ``indptr``,
+        stored because every vectorised consumer needs it).
+    ``action``
+        ``int32`` interned action id per edge.
+    ``target``
+        ``int32`` target state per edge.
+    """
+
+    __slots__ = ("indptr", "source", "action", "target")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        source: np.ndarray,
+        action: np.ndarray,
+        target: np.ndarray,
+    ) -> None:
+        self.indptr = indptr
+        self.source = source
+        self.action = action
+        self.target = target
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.target)
+
+
+class MarkovianCSR:
+    """Flat-array (CSR) form of an automaton's Markovian relation.
+
+    Same layout as :class:`InteractiveCSR` with a ``float64`` ``rate`` column
+    instead of the action column.
+    """
+
+    __slots__ = ("indptr", "source", "rate", "target")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        source: np.ndarray,
+        rate: np.ndarray,
+        target: np.ndarray,
+    ) -> None:
+        self.indptr = indptr
+        self.source = source
+        self.rate = rate
+        self.target = target
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.target)
+
+
+def _row_offsets(rows, num_states: int) -> tuple[np.ndarray, np.ndarray, int]:
+    """(indptr, per-edge source column, edge count) of a list-of-rows table."""
+    counts = np.fromiter((len(row) for row in rows), dtype=np.int64, count=num_states)
+    indptr = np.zeros(num_states + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    total = int(indptr[-1])
+    source = np.repeat(np.arange(num_states, dtype=np.int32), counts)
+    return indptr, source, total
 
 
 class TransitionIndex:
@@ -38,11 +126,18 @@ class TransitionIndex:
         "is_input",
         "is_internal",
         "is_visible",
-        "internal_successors",
+        "input_flags",
+        "internal_flags",
+        "visible_flags",
+        "interactive_csr",
         "stable",
+        "stable_flags",
+        "_internal_successors",
+        "_markovian_csr",
         "_interactive_ids",
         "_sorted_interactive",
         "_predecessors",
+        "_predecessor_csr",
     )
 
     def __init__(self, automaton) -> None:
@@ -56,41 +151,54 @@ class TransitionIndex:
         self.kinds: list[ActionKind] = [
             signature.kind_of(action) for action in self.actions
         ]
-        self.is_input: list[bool] = [k is ActionKind.INPUT for k in self.kinds]
-        self.is_internal: list[bool] = [k is ActionKind.INTERNAL for k in self.kinds]
-        self.is_visible: list[bool] = [
-            k is not ActionKind.INTERNAL for k in self.kinds
-        ]
+        #: Per-action-id kind masks, as Python lists and numpy bool arrays.
+        self._attach_kind_flags()
 
-        internals = signature.internals
-        inputs = signature.inputs
-        #: Per state: targets of internal (tau) transitions.
-        self.internal_successors: list[list[int]] = []
-        #: Per state: ``True`` when no output or internal transition is enabled.
-        self.stable: list[bool] = []
-        internal_successors = self.internal_successors
-        stable_flags = self.stable
-        for row in automaton.interactive:
-            internal: list[int] = []
-            stable = True
-            for action, target in row:
-                if action in internals:
-                    internal.append(target)
-                    stable = False
-                elif action not in inputs:
-                    stable = False
-            internal_successors.append(internal)
-            stable_flags.append(stable)
-        self._interactive_ids: list[list[tuple[int, int]]] | None = None
-        self._sorted_interactive: list[list[tuple[int, int]]] | None = None
-        self._predecessors: list[list[int]] | None = None
+        #: Flat CSR adjacency of the interactive relation (built eagerly: every
+        #: consumer of the index reads it).  The Markovian CSR — and the
+        #: legacy list-of-tuples views — are materialised lazily.
+        num_states = automaton.num_states
+        rows = automaton.interactive
+        indptr, source, total = _row_offsets(rows, num_states)
+        id_of = self.id_of
+        action = np.fromiter(
+            (id_of[act] for row in rows for act, _ in row), dtype=np.int32, count=total
+        )
+        target = np.fromiter(
+            (tgt for row in rows for _, tgt in row), dtype=np.int32, count=total
+        )
+        self._attach_tables(InteractiveCSR(indptr, source, action, target), None)
 
-    def adopt(self, automaton) -> "TransitionIndex":
-        """Re-attach this index to an automaton with the *same* interactive table.
+    @classmethod
+    def from_tables(
+        cls, automaton, interactive_csr: InteractiveCSR, markovian_csr: MarkovianCSR
+    ) -> "TransitionIndex":
+        """Build an index directly from prebuilt CSR tables.
 
-        Used by transformations that only touch Markovian rows (e.g. the
-        maximal-progress cut): every interactive-derived table can be shared,
-        only the predecessor cache has to be rebuilt on demand.
+        Used by transformations that construct an automaton *from* flat
+        arrays (batched composition, quotienting, reachability restriction):
+        re-deriving the CSR form from the freshly materialised Python rows
+        would just redo work.  The caller guarantees that the action ids of
+        ``interactive_csr`` index ``sorted(signature.all_actions)``.
+        """
+        self = cls.__new__(cls)
+        self.automaton = automaton
+        signature = automaton.signature
+        self.actions = sorted(signature.all_actions)
+        self.id_of = {action: aid for aid, action in enumerate(self.actions)}
+        self.kinds = [signature.kind_of(action) for action in self.actions]
+        self._attach_kind_flags()
+        self._attach_tables(interactive_csr, markovian_csr)
+        return self
+
+    def derive(
+        self, automaton, interactive_csr: InteractiveCSR, markovian_csr: MarkovianCSR
+    ) -> "TransitionIndex":
+        """Index of ``automaton`` (same action universe) over new CSR tables.
+
+        Shares every interning table with ``self``; only the per-state
+        derived data (stability bits, lazy caches) is rebuilt.  The caller
+        guarantees ``automaton.signature`` interns actions identically.
         """
         clone = TransitionIndex.__new__(TransitionIndex)
         clone.automaton = automaton
@@ -100,23 +208,149 @@ class TransitionIndex:
         clone.is_input = self.is_input
         clone.is_internal = self.is_internal
         clone.is_visible = self.is_visible
-        clone.internal_successors = self.internal_successors
+        clone.input_flags = self.input_flags
+        clone.internal_flags = self.internal_flags
+        clone.visible_flags = self.visible_flags
+        clone._attach_tables(interactive_csr, markovian_csr)
+        return clone
+
+    def with_renamed_actions(self, automaton, rename: dict) -> "TransitionIndex":
+        """Index of ``automaton``, whose actions are ``self``'s renamed.
+
+        ``rename`` maps old action names to new ones (non-injective renames,
+        e.g. hiding several outputs to ``tau``, are fine); unnamed actions
+        keep their name.  The transition structure is untouched, so the
+        row-offset/source/target columns — and the structural predecessor
+        caches — are shared; only the action column is remapped.
+        """
+        signature = automaton.signature
+        clone = TransitionIndex.__new__(TransitionIndex)
+        clone.automaton = automaton
+        clone.actions = sorted(signature.all_actions)
+        clone.id_of = {action: aid for aid, action in enumerate(clone.actions)}
+        clone.kinds = [signature.kind_of(action) for action in clone.actions]
+        clone._attach_kind_flags()
+        remap = np.fromiter(
+            (clone.id_of[rename.get(action, action)] for action in self.actions),
+            dtype=np.int32,
+            count=len(self.actions),
+        )
+        old = self.interactive_csr
+        clone.interactive_csr = InteractiveCSR(
+            old.indptr, old.source, remap[old.action], old.target
+        )
+        clone._compute_stability()
+        clone._internal_successors = None
+        clone._markovian_csr = self._markovian_csr
+        clone._interactive_ids = None
+        clone._sorted_interactive = None
+        clone._predecessors = self._predecessors
+        clone._predecessor_csr = self._predecessor_csr
+        return clone
+
+    def _attach_kind_flags(self) -> None:
+        self.is_input = [k is ActionKind.INPUT for k in self.kinds]
+        self.is_internal = [k is ActionKind.INTERNAL for k in self.kinds]
+        self.is_visible = [k is not ActionKind.INTERNAL for k in self.kinds]
+        self.input_flags = np.array(self.is_input, dtype=bool)
+        self.internal_flags = np.array(self.is_internal, dtype=bool)
+        self.visible_flags = np.array(self.is_visible, dtype=bool)
+
+    def _attach_tables(
+        self,
+        interactive_csr: InteractiveCSR,
+        markovian_csr: MarkovianCSR | None,
+    ) -> None:
+        self.interactive_csr = interactive_csr
+        self._compute_stability()
+        self._internal_successors = None
+        self._markovian_csr = markovian_csr
+        self._interactive_ids = None
+        self._sorted_interactive = None
+        self._predecessors = None
+        self._predecessor_csr = None
+
+    def _compute_stability(self) -> None:
+        csr = self.interactive_csr
+        urgent = ~self.input_flags[csr.action]
+        unstable = np.zeros(self.automaton.num_states, dtype=bool)
+        unstable[csr.source[urgent]] = True
+        self.stable_flags = ~unstable
+        self.stable = self.stable_flags.tolist()
+
+    def adopt(self, automaton, markovian_csr: MarkovianCSR | None = None) -> "TransitionIndex":
+        """Re-attach this index to an automaton with the *same* interactive table.
+
+        Used by transformations that only touch Markovian rows (e.g. the
+        maximal-progress cut): every interactive-derived table can be shared,
+        only the Markovian CSR (passed explicitly, or rebuilt from the rows on
+        demand) and the predecessor caches change.
+        """
+        clone = TransitionIndex.__new__(TransitionIndex)
+        clone.automaton = automaton
+        clone.actions = self.actions
+        clone.id_of = self.id_of
+        clone.kinds = self.kinds
+        clone.is_input = self.is_input
+        clone.is_internal = self.is_internal
+        clone.is_visible = self.is_visible
+        clone.input_flags = self.input_flags
+        clone.internal_flags = self.internal_flags
+        clone.visible_flags = self.visible_flags
+        clone.interactive_csr = self.interactive_csr
         clone.stable = self.stable
+        clone.stable_flags = self.stable_flags
+        clone._internal_successors = self._internal_successors
+        clone._markovian_csr = markovian_csr
         clone._interactive_ids = self._interactive_ids
         clone._sorted_interactive = self._sorted_interactive
         clone._predecessors = None
+        clone._predecessor_csr = None
         return clone
 
     # ------------------------------------------------------------------ #
     # derived, lazily cached tables
     # ------------------------------------------------------------------ #
+    def markovian_csr(self) -> MarkovianCSR:
+        """Flat CSR adjacency of the Markovian relation."""
+        if self._markovian_csr is None:
+            automaton = self.automaton
+            rows = automaton.markovian
+            indptr, source, total = _row_offsets(rows, automaton.num_states)
+            rate = np.fromiter(
+                (r for row in rows for r, _ in row), dtype=np.float64, count=total
+            )
+            target = np.fromiter(
+                (tgt for row in rows for _, tgt in row), dtype=np.int32, count=total
+            )
+            self._markovian_csr = MarkovianCSR(indptr, source, rate, target)
+        return self._markovian_csr
+
+    @property
+    def internal_successors(self) -> list[list[int]]:
+        """Per state: targets of internal (tau) transitions."""
+        if self._internal_successors is None:
+            csr = self.interactive_csr
+            internal = self.internal_flags[csr.action]
+            successors: list[list[int]] = [
+                [] for _ in range(self.automaton.num_states)
+            ]
+            for source, tgt in zip(
+                csr.source[internal].tolist(), csr.target[internal].tolist()
+            ):
+                successors[source].append(tgt)
+            self._internal_successors = successors
+        return self._internal_successors
+
     def interactive_ids(self) -> list[list[tuple[int, int]]]:
         """Per-state ``(action_id, target)`` pairs in the automaton's order."""
         if self._interactive_ids is None:
-            id_of = self.id_of
+            csr = self.interactive_csr
+            indptr = csr.indptr
+            pairs = list(zip(csr.action.tolist(), csr.target.tolist()))
             self._interactive_ids = [
-                [(id_of[action], target) for action, target in row]
-                for row in self.automaton.interactive
+                pairs[indptr[state] : indptr[state + 1]]
+                for state in range(self.automaton.num_states)
             ]
         return self._interactive_ids
 
@@ -126,23 +360,37 @@ class TransitionIndex:
             self._sorted_interactive = [sorted(row) for row in self.interactive_ids()]
         return self._sorted_interactive
 
-    def predecessors(self) -> list[list[int]]:
-        """For every state, the (deduplicated) sources of incoming transitions.
+    def predecessor_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(indptr, source)`` CSR of the *observer* relation, deduplicated.
 
-        Both interactive and Markovian transitions count: any predecessor's
-        refinement signature reads the block of this state, so this is exactly
-        the *observer* relation the worklist refinement engine needs.
+        For every state, the sources of incoming transitions of either kind:
+        any predecessor's refinement signature reads the block of this state,
+        so this is exactly the observer relation the worklist refinement
+        engine needs.  Sources of a state are sorted ascending.
         """
+        if self._predecessor_csr is None:
+            icsr = self.interactive_csr
+            mcsr = self.markovian_csr()
+            num_states = self.automaton.num_states
+            target = np.concatenate([icsr.target, mcsr.target])
+            source = np.concatenate([icsr.source, mcsr.source])
+            # Dedupe (target, source) pairs, then split runs by target.
+            code = target.astype(np.int64) * num_states + source
+            code = np.unique(code)
+            by_target, sources = np.divmod(code, num_states)
+            indptr = csr_indptr(by_target, num_states)
+            self._predecessor_csr = (indptr, sources.astype(np.int32))
+        return self._predecessor_csr
+
+    def predecessors(self) -> list[list[int]]:
+        """For every state, the (deduplicated, sorted) incoming-edge sources."""
         if self._predecessors is None:
-            automaton = self.automaton
-            seen: list[set[int]] = [set() for _ in range(automaton.num_states)]
-            for source, row in enumerate(automaton.interactive):
-                for _, target in row:
-                    seen[target].add(source)
-            for source, row in enumerate(automaton.markovian):
-                for _, target in row:
-                    seen[target].add(source)
-            self._predecessors = [sorted(sources) for sources in seen]
+            indptr, sources = self.predecessor_csr()
+            flat = sources.tolist()
+            self._predecessors = [
+                flat[indptr[state] : indptr[state + 1]]
+                for state in range(self.automaton.num_states)
+            ]
         return self._predecessors
 
     def tau_closure(self) -> list[list[int]]:
@@ -166,4 +414,4 @@ class TransitionIndex:
         return self.automaton.summary()
 
 
-__all__ = ["TransitionIndex"]
+__all__ = ["InteractiveCSR", "MarkovianCSR", "TransitionIndex"]

@@ -21,7 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
+import numpy as np
+
 from ..errors import InputEnablednessError, ModelError
+from ..nputil import csr_indptr, dedupe_packed_triples, gather_row_indices, rows_from_edges
 from .actions import ActionKind, Signature
 
 
@@ -71,8 +74,8 @@ class IOIMC:
         "signature",
         "num_states",
         "initial",
-        "interactive",
-        "markovian",
+        "_interactive",
+        "_markovian",
         "labels",
         "state_names",
         "_index",
@@ -100,8 +103,12 @@ class IOIMC:
         self.signature = signature
         self.num_states = num_states
         self.initial = initial
-        self.interactive: list[list[tuple[str, int]]] = [list(row) for row in interactive]
-        self.markovian: list[list[tuple[float, int]]] = [list(row) for row in markovian]
+        self._interactive: list[list[tuple[str, int]]] | None = [
+            list(row) for row in interactive
+        ]
+        self._markovian: list[list[tuple[float, int]]] | None = [
+            list(row) for row in markovian
+        ]
         self.labels: dict[int, frozenset[str]] = {
             state: frozenset(props) for state, props in (labels or {}).items() if props
         }
@@ -136,8 +143,8 @@ class IOIMC:
         self.signature = signature
         self.num_states = num_states
         self.initial = initial
-        self.interactive = interactive
-        self.markovian = markovian
+        self._interactive = interactive
+        self._markovian = markovian
         self.labels = {
             state: props for state, props in (labels or {}).items() if props
         }
@@ -153,6 +160,44 @@ class IOIMC:
 
             self._index = TransitionIndex(self)
         return self._index
+
+    # ------------------------------------------------------------------ #
+    # transition tables
+    # ------------------------------------------------------------------ #
+    # The library's own transformations construct automata from the flat CSR
+    # arrays of a pre-seeded TransitionIndex and leave the Python rows
+    # unmaterialised; the properties below rebuild them on first access (in
+    # CSR edge order, which is exactly the order an eager construction would
+    # have produced).  Invariant: whenever a row table is None, ``_index``
+    # carries explicit CSR tables for it.
+
+    @property
+    def interactive(self) -> list[list[tuple[str, int]]]:
+        """Per state, the ``(action, target)`` interactive transitions."""
+        rows = self._interactive
+        if rows is None:
+            csr = self._index.interactive_csr
+            names = np.array(self._index.actions)
+            rows = rows_from_edges(
+                csr.source,
+                names[csr.action].tolist(),
+                csr.target.tolist(),
+                self.num_states,
+            )
+            self._interactive = rows
+        return rows
+
+    @property
+    def markovian(self) -> list[list[tuple[float, int]]]:
+        """Per state, the ``(rate, target)`` Markovian transitions."""
+        rows = self._markovian
+        if rows is None:
+            csr = self._index._markovian_csr
+            rows = rows_from_edges(
+                csr.source, csr.rate.tolist(), csr.target.tolist(), self.num_states
+            )
+            self._markovian = rows
+        return rows
 
     # ------------------------------------------------------------------ #
     # validation
@@ -241,10 +286,15 @@ class IOIMC:
 
     def _counts(self) -> tuple[int, int]:
         if self._transition_counts is None:
-            self._transition_counts = (
-                sum(len(row) for row in self.interactive),
-                sum(len(row) for row in self.markovian),
-            )
+            if self._interactive is None:
+                interactive_count = self._index.interactive_csr.num_edges
+            else:
+                interactive_count = sum(len(row) for row in self._interactive)
+            if self._markovian is None:
+                markovian_count = self._index._markovian_csr.num_edges
+            else:
+                markovian_count = sum(len(row) for row in self._markovian)
+            self._transition_counts = (interactive_count, markovian_count)
         return self._transition_counts
 
     def num_transitions(self) -> int:
@@ -290,6 +340,10 @@ class IOIMC:
         inputs = self.signature.inputs
         if not inputs:
             return self
+        if self._interactive is None and self._fully_input_enabled():
+            # CSR fast path: quotients/products of input-enabled automata are
+            # input-enabled already — confirm without materialising the rows.
+            return self
         interactive: list[list[tuple[str, int]]] = []
         changed = False
         for state, row in enumerate(self.interactive):
@@ -312,6 +366,23 @@ class IOIMC:
             self.state_names,
         )
 
+    def _fully_input_enabled(self) -> bool:
+        """Vectorised check that every state enables every input action."""
+        index = self._index
+        csr = index.interactive_csr
+        is_input_edge = index.input_flags[csr.action]
+        num_inputs = int(index.input_flags.sum())
+        if num_inputs == 0:
+            return True
+        pairs = np.unique(
+            csr.source[is_input_edge].astype(np.int64) * len(index.actions)
+            + csr.action[is_input_edge]
+        )
+        distinct_inputs = np.bincount(
+            pairs // len(index.actions), minlength=self.num_states
+        )
+        return bool((distinct_inputs == num_inputs).all())
+
     # ------------------------------------------------------------------ #
     # transformations
     # ------------------------------------------------------------------ #
@@ -320,101 +391,169 @@ class IOIMC:
 
         Interactive transitions of all merged states are unioned (duplicates
         are dropped).  Markovian rates are taken from a single *representative*
-        state per block, with parallel rates into the same target block summed
-        — this is the quotient construction used by (bi)simulation lumping,
-        where all states of a block have, by definition, the same cumulative
-        rate into every other block.
+        state per block (the first state of the block in state order), with
+        parallel rates into the same target block summed — this is the
+        quotient construction used by (bi)simulation lumping, where all
+        states of a block have, by definition, the same cumulative rate into
+        every other block.
+
+        Runs over the flat CSR arrays of the cached
+        :class:`~repro.ioimc.indexed.TransitionIndex`: the unioned
+        interactive rows are one ``np.unique`` over packed
+        ``(new source, action, new target)`` triples.
         """
-        interactive: list[set[tuple[str, int]]] = [set() for _ in range(num_new_states)]
-        markovian: list[dict[int, float] | None] = [None] * num_new_states
+        index = self.index()
+        interactive_csr = index.interactive_csr
+        markovian_csr = index.markovian_csr()
+        block = np.fromiter(
+            (mapping[old] for old in self.states()),
+            dtype=np.int64,
+            count=self.num_states,
+        )
+
+        new_src, action, new_tgt = dedupe_packed_triples(
+            block[interactive_csr.source],
+            interactive_csr.action.astype(np.int64),
+            block[interactive_csr.target],
+            len(index.actions),
+            num_new_states,
+        )
+
+        # One representative old state per new state: the first occurrence in
+        # state order (new states without a preimage keep an empty row).
+        present, representative = np.unique(block, return_index=True)
+        picked = gather_row_indices(markovian_csr.indptr, representative)
+        rate_src = rate_tgt = np.empty(0, dtype=np.int64)
+        rate_sum = np.empty(0, dtype=np.float64)
+        if len(picked):
+            pair = block[markovian_csr.source[picked]] * num_new_states + block[
+                markovian_csr.target[picked]
+            ]
+            unique_pairs, pair_index = np.unique(pair, return_inverse=True)
+            rate_sum = np.bincount(pair_index, weights=markovian_csr.rate[picked])
+            rate_src, rate_tgt = np.divmod(unique_pairs, num_new_states)
+
         labels: dict[int, set[str]] = {}
-        names: list[str | None] = [None] * num_new_states
-        for old in self.states():
-            new = mapping[old]
-            for action, target in self.interactive[old]:
-                interactive[new].add((action, mapping[target]))
-            props = self.label_of(old)
-            if props:
-                labels.setdefault(new, set()).update(props)
-            if names[new] is None:
-                names[new] = self.state_name(old)
-            if markovian[new] is None:
-                rates: dict[int, float] = {}
-                for rate, target in self.markovian[old]:
-                    new_target = mapping[target]
-                    rates[new_target] = rates.get(new_target, 0.0) + rate
-                markovian[new] = rates
-        markovian_rows = [
-            [(rate, target) for target, rate in sorted((row or {}).items())]
-            for row in markovian
-        ]
-        return IOIMC.trusted(
+        for old, props in self.labels.items():
+            labels.setdefault(int(block[old]), set()).update(props)
+        names = [f"s{index}" for index in range(num_new_states)]
+        for new, old in zip(present.tolist(), representative.tolist()):
+            names[new] = self.state_name(old)
+        quotient = IOIMC.trusted(
             self.name,
             self.signature,
             num_new_states,
             mapping[self.initial],
-            [sorted(row) for row in interactive],
-            markovian_rows,
+            None,  # rows materialise lazily from the index attached below
+            None,
             {state: frozenset(props) for state, props in labels.items()},
-            [name or f"s{index}" for index, name in enumerate(names)],
+            names,
         )
+        quotient._index = index.derive(
+            quotient,
+            _interactive_csr_from_edges(new_src, action, new_tgt, num_new_states),
+            _markovian_csr_from_edges(rate_src, rate_sum, rate_tgt, num_new_states),
+        )
+        return quotient
 
     def restrict_to_reachable(self) -> "IOIMC":
         """Drop states that are unreachable from the initial state."""
-        reachable = self.reachable_states()
-        if len(reachable) == self.num_states:
+        reachable = self._reachable_mask()
+        num_reachable = int(reachable.sum())
+        if num_reachable == self.num_states:
             return self
-        order = sorted(reachable)
-        new_index = {old: new for new, old in enumerate(order)}
-        interactive = [
-            [(action, new_index[target]) for action, target in self.interactive[old]]
-            for old in order
-        ]
-        markovian = [
-            [(rate, new_index[target]) for rate, target in self.markovian[old]]
-            for old in order
-        ]
-        labels = {new_index[old]: self.label_of(old) for old in order if self.label_of(old)}
-        names = [self.state_name(old) for old in order] if self.state_names else None
-        return IOIMC.trusted(
+        index = self.index()
+        order = np.flatnonzero(reachable)  # ascending old state ids
+        new_of_old = np.full(self.num_states, -1, dtype=np.int64)
+        new_of_old[order] = np.arange(num_reachable, dtype=np.int64)
+
+        interactive_csr = index.interactive_csr
+        picked = gather_row_indices(interactive_csr.indptr, order)
+        new_isrc = new_of_old[interactive_csr.source[picked]]
+        new_iact = interactive_csr.action[picked]
+        new_itgt = new_of_old[interactive_csr.target[picked]]
+        markovian_csr = index.markovian_csr()
+        picked = gather_row_indices(markovian_csr.indptr, order)
+        new_msrc = new_of_old[markovian_csr.source[picked]]
+        new_mrate = markovian_csr.rate[picked]
+        new_mtgt = new_of_old[markovian_csr.target[picked]]
+        labels = {
+            int(new_of_old[old]): props
+            for old, props in self.labels.items()
+            if reachable[old]
+        }
+        names = (
+            [self.state_name(old) for old in order.tolist()]
+            if self.state_names
+            else None
+        )
+        restricted = IOIMC.trusted(
             self.name,
             self.signature,
-            len(order),
-            new_index[self.initial],
-            interactive,
-            markovian,
+            num_reachable,
+            int(new_of_old[self.initial]),
+            None,  # rows materialise lazily from the index attached below
+            None,
             labels,
             names,
         )
+        restricted._index = index.derive(
+            restricted,
+            _interactive_csr_from_edges(new_isrc, new_iact, new_itgt, num_reachable),
+            _markovian_csr_from_edges(new_msrc, new_mrate, new_mtgt, num_reachable),
+        )
+        return restricted
+
+    def _reachable_mask(self):
+        """Boolean mask of states reachable from the initial state.
+
+        Batched BFS over the CSR adjacency: a whole frontier level is
+        expanded per step, so the cost is a few array operations per level of
+        the reachability tree instead of Python work per transition.
+        """
+        index = self.index()
+        interactive_csr = index.interactive_csr
+        markovian_csr = index.markovian_csr()
+        seen = np.zeros(self.num_states, dtype=bool)
+        seen[self.initial] = True
+        frontier = np.array([self.initial], dtype=np.int64)
+        while len(frontier):
+            targets = np.concatenate(
+                [
+                    interactive_csr.target[
+                        gather_row_indices(interactive_csr.indptr, frontier)
+                    ],
+                    markovian_csr.target[
+                        gather_row_indices(markovian_csr.indptr, frontier)
+                    ],
+                ]
+            ).astype(np.int64)
+            targets = np.unique(targets)
+            frontier = targets[~seen[targets]]
+            seen[frontier] = True
+        return seen
 
     def reachable_states(self) -> set[int]:
         """Set of states reachable from the initial state."""
-        seen = {self.initial}
-        stack = [self.initial]
-        while stack:
-            state = stack.pop()
-            for _, target in self.interactive[state]:
-                if target not in seen:
-                    seen.add(target)
-                    stack.append(target)
-            for _, target in self.markovian[state]:
-                if target not in seen:
-                    seen.add(target)
-                    stack.append(target)
-        return seen
+        return set(np.flatnonzero(self._reachable_mask()).tolist())
 
     def renamed(self, name: str) -> "IOIMC":
         """Return a shallow copy carrying a different automaton name."""
-        return IOIMC.trusted(
+        clone = IOIMC.trusted(
             name,
             self.signature,
             self.num_states,
             self.initial,
-            self.interactive,
-            self.markovian,
+            self._interactive,
+            self._markovian,
             self.labels,
             self.state_names,
         )
+        if self._index is not None:
+            clone._index = self._index.derive(
+                clone, self._index.interactive_csr, self._index._markovian_csr
+            )
+        return clone
 
     # ------------------------------------------------------------------ #
     # dunder helpers
@@ -434,6 +573,29 @@ class IOIMC:
             "markovian_transitions": self.num_markovian_transitions(),
             "transitions": self.num_transitions(),
         }
+
+
+def _interactive_csr_from_edges(source, action, target, num_rows: int):
+    """Interactive CSR from aligned edge columns (``source`` sorted)."""
+    from .indexed import InteractiveCSR
+
+    indptr = csr_indptr(source, num_rows)
+    return InteractiveCSR(
+        indptr,
+        source.astype(np.int32),
+        action.astype(np.int32),
+        target.astype(np.int32),
+    )
+
+
+def _markovian_csr_from_edges(source, rate, target, num_rows: int):
+    """Markovian CSR from aligned edge columns (``source`` sorted)."""
+    from .indexed import MarkovianCSR
+
+    indptr = csr_indptr(source, num_rows)
+    return MarkovianCSR(
+        indptr, source.astype(np.int32), np.asarray(rate), target.astype(np.int32)
+    )
 
 
 def merge_label_sets(label_sets: Iterable[frozenset[str]]) -> frozenset[str]:

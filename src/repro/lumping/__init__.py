@@ -4,15 +4,18 @@ This package plays the role of CADP's aggregation step in the paper's tool
 chain (Section 4): after every composition step the intermediate I/O-IMC is
 reduced so that the state-space explosion is kept in check.
 
-Both minimisation passes (strong and weak) run on the splitter-worklist
-refinement engine of :mod:`repro.lumping.refinement`, operating on the
-interned-action transition index of :class:`repro.ioimc.TransitionIndex` —
-near-linear in the transition system instead of the per-round full
-recomputation a naive implementation performs.
+Both minimisation passes (strong and weak) run on the vectorised worklist
+refinement engine of :mod:`repro.lumping.refinement`, operating on the flat
+CSR adjacency of :class:`repro.ioimc.TransitionIndex`: block signatures are
+encoded as integer keys and grouped with ``np.unique`` instead of per-state
+Python tuples — near-linear in the transition system instead of the
+per-round full recomputation a naive implementation performs, with numpy
+constants on the inner loop.  See ``docs/architecture.md`` for the engine
+and backend layout.
 """
 
 from .partition import Partition
-from .refinement import refine_with_worklist
+from .refinement import refine_partition_vectorized, refine_with_worklist
 from .reductions import (
     eliminate_vanishing_chains,
     maximal_progress_cut,
@@ -29,6 +32,7 @@ from .weak import minimize_weak, weak_bisimulation_partition
 __all__ = [
     "Partition",
     "LumpingResult",
+    "refine_partition_vectorized",
     "refine_with_worklist",
     "eliminate_vanishing_chains",
     "maximal_progress_cut",

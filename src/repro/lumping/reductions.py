@@ -17,7 +17,12 @@ arise from Arcade models (see DESIGN.md, "Key semantic decisions").
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..ioimc import IOIMC
+from ..ioimc.indexed import MarkovianCSR
+from ..ioimc.ioimc import _interactive_csr_from_edges, _markovian_csr_from_edges
+from ..nputil import csr_indptr, dedupe_packed_triples, gather_row_indices
 
 
 def maximal_progress_cut(automaton: IOIMC) -> IOIMC:
@@ -28,29 +33,30 @@ def maximal_progress_cut(automaton: IOIMC) -> IOIMC:
     the state.
     """
     index = automaton.index()
-    stable = index.stable
-    changed = False
-    markovian: list[list[tuple[float, int]]] = []
-    for state, row in enumerate(automaton.markovian):
-        if row and not stable[state]:
-            markovian.append([])
-            changed = True
-        else:
-            markovian.append(row)
-    if not changed:
+    markovian_csr = index.markovian_csr()
+    keep = index.stable_flags[markovian_csr.source]
+    if bool(keep.all()):
         return automaton
     cut = IOIMC.trusted(
         automaton.name,
         automaton.signature,
         automaton.num_states,
         automaton.initial,
-        automaton.interactive,
-        markovian,
+        automaton._interactive,  # shared (possibly still unmaterialised) rows
+        None,
         automaton.labels,
         automaton.state_names,
     )
-    # The interactive table is untouched: share the interned-action index.
-    cut._index = index.adopt(cut)
+    source = markovian_csr.source[keep]
+    indptr = csr_indptr(source, automaton.num_states)
+    # The interactive table is untouched: share the interned-action index,
+    # swapping in the filtered Markovian CSR.
+    cut._index = index.adopt(
+        cut,
+        MarkovianCSR(
+            indptr, source, markovian_csr.rate[keep], markovian_csr.target[keep]
+        ),
+    )
     return cut
 
 
@@ -70,71 +76,99 @@ def eliminate_vanishing_chains(automaton: IOIMC) -> IOIMC:
     mark, e.g., the fully repaired state as ``down`` just because the repair
     announcements passed through a momentarily-failed configuration).
     """
-    internals = automaton.signature.internals
-    if not internals:
+    if not automaton.signature.internals:
         return automaton  # no internal actions, hence no vanishing chains
-    inputs = automaton.signature.inputs
-    markovian_rows = automaton.markovian
-    redirect: dict[int, int] = {}
-    for state, row in enumerate(automaton.interactive):
-        if markovian_rows[state]:
-            continue
-        internal_targets = []
-        only_self_loops = True
-        for action, target in row:
-            if action in internals:
-                internal_targets.append(target)
-            elif action in inputs and target == state:
-                continue
-            else:
-                only_self_loops = False
-                break
-        if only_self_loops and len(internal_targets) == 1 and internal_targets[0] != state:
-            redirect[state] = internal_targets[0]
-    if not redirect:
+    index = automaton.index()
+    interactive_csr = index.interactive_csr
+    markovian_csr = index.markovian_csr()
+    num_states = automaton.num_states
+    states = np.arange(num_states, dtype=np.int64)
+
+    # Vanishing detection, one pass over the edge arrays: no Markovian row,
+    # exactly one internal transition (not a self-loop), and every other
+    # interactive transition is an input self-loop.
+    source = interactive_csr.source
+    target = interactive_csr.target
+    internal_edge = index.internal_flags[interactive_csr.action]
+    input_self_loop = index.input_flags[interactive_csr.action] & (target == source)
+    disqualifying = ~internal_edge & ~input_self_loop
+    has_markovian = markovian_csr.indptr[1:] > markovian_csr.indptr[:-1]
+    single_target = np.full(num_states, -1, dtype=np.int64)
+    single_target[source[internal_edge]] = target[internal_edge]
+    vanishing = (
+        ~has_markovian
+        & (np.bincount(source[internal_edge], minlength=num_states) == 1)
+        & (np.bincount(source[disqualifying], minlength=num_states) == 0)
+        & (single_target != states)
+    )
+    if not vanishing.any():
         return automaton
 
-    def resolve(state: int) -> int:
-        seen = set()
-        while state in redirect and state not in seen:
-            seen.add(state)
-            state = redirect[state]
-        return state
+    # Follow chains transitively by pointer doubling; states on tau-cycles
+    # never converge and fall back to the scalar walk below (they resolve to
+    # themselves, i.e. are kept — cycles never occur in Arcade models).
+    resolved = np.where(vanishing, single_target, states)
+    for _ in range(max(int(num_states).bit_length(), 1) + 1):
+        hopped = resolved[resolved]
+        if np.array_equal(hopped, resolved):
+            break
+        resolved = hopped
+    unresolved = np.flatnonzero(vanishing[resolved])
+    if len(unresolved):
+        redirect = {
+            int(state): int(single_target[state])
+            for state in np.flatnonzero(vanishing).tolist()
+        }
+        for state in unresolved.tolist():
+            walked, seen = state, set()
+            while walked in redirect and walked not in seen:
+                seen.add(walked)
+                walked = redirect[walked]
+            resolved[state] = walked
 
-    resolved = {state: resolve(state) for state in automaton.states()}
     # States on a tau-cycle resolve to themselves; treat them as kept.
-    kept = sorted({target for target in resolved.values()})
-    new_index = {old: new for new, old in enumerate(kept)}
-    mapping = {old: new_index[resolved[old]] for old in automaton.states()}
+    kept = np.flatnonzero(resolved == states)
+    num_kept = len(kept)
+    mapping = np.full(num_states, -1, dtype=np.int64)
+    mapping[kept] = np.arange(num_kept, dtype=np.int64)
+    mapping = mapping[resolved]  # old state -> new state, through its chain
 
-    interactive: list[list[tuple[str, int]]] = [[] for _ in kept]
-    markovian: list[list[tuple[float, int]]] = [[] for _ in kept]
-    labels: dict[int, set[str]] = {}
-    names: list[str] = [automaton.state_name(old) for old in kept]
-    for old in kept:
-        props = automaton.label_of(old)
-        if props:
-            labels.setdefault(mapping[old], set()).update(props)
-    for old in kept:
-        new = mapping[old]
-        seen_interactive: set[tuple[str, int]] = set()
-        for action, target in automaton.interactive[old]:
-            entry = (action, mapping[target])
-            if entry not in seen_interactive:
-                seen_interactive.add(entry)
-                interactive[new].append(entry)
-        for rate, target in automaton.markovian[old]:
-            markovian[new].append((rate, mapping[target]))
+    picked = gather_row_indices(interactive_csr.indptr, kept)
+    new_src, action, new_tgt = dedupe_packed_triples(
+        mapping[interactive_csr.source[picked]],
+        interactive_csr.action[picked].astype(np.int64),
+        mapping[interactive_csr.target[picked]],
+        len(index.actions),
+        num_kept,
+    )
+    picked = gather_row_indices(markovian_csr.indptr, kept)
+    counts = markovian_csr.indptr[kept + 1] - markovian_csr.indptr[kept]
+    new_msrc = np.repeat(np.arange(num_kept, dtype=np.int64), counts)
+    new_mrate = markovian_csr.rate[picked]
+    new_mtgt = mapping[markovian_csr.target[picked]]
+    # Labels of eliminated states are dropped (see above); kept states map
+    # one-to-one, so their label sets carry over unchanged.
+    labels = {
+        int(mapping[old]): props
+        for old, props in automaton.labels.items()
+        if resolved[old] == old
+    }
+    names = [automaton.state_name(old) for old in kept.tolist()]
 
     reduced = IOIMC.trusted(
         automaton.name,
         automaton.signature,
-        len(kept),
-        mapping[automaton.initial],
-        interactive,
-        markovian,
-        {state: frozenset(props) for state, props in labels.items()},
+        num_kept,
+        int(mapping[automaton.initial]),
+        None,  # rows materialise lazily from the index attached below
+        None,
+        labels,
         names,
+    )
+    reduced._index = index.derive(
+        reduced,
+        _interactive_csr_from_edges(new_src, action, new_tgt, num_kept),
+        _markovian_csr_from_edges(new_msrc, new_mrate, new_mtgt, num_kept),
     )
     return reduced.restrict_to_reachable()
 

@@ -1,26 +1,42 @@
-"""Splitter-worklist partition refinement shared by all minimisation passes.
+"""Partition refinement engines shared by all minimisation passes.
 
 The seed implementation refined by global rounds: every round recomputed the
 signature of *every* state and re-grouped the whole state space, giving
 ``O(rounds * (states + transitions))`` work even when a round split a single
-block.  This module implements the standard Paige–Tarjan-style alternative:
+block.  PR 1 replaced it with the splitter-worklist engine
+(:func:`refine_with_worklist`), which only re-examines blocks whose states
+may have changed signature; per-state signatures were still built as Python
+tuples and hashed through a dict.
 
-* blocks live on a *worklist*; only blocks whose states may have changed
-  signature are ever re-examined;
-* when a block splits, exactly the blocks containing *observers* of its
-  states (predecessors, or any state whose signature reads the block id of a
-  state in the split block) are put back on the worklist;
-* the final block numbering is canonicalised to first-occurrence order, which
-  is exactly the numbering the round-based implementation produced — so the
-  rewrite is a drop-in replacement, bit-identical downstream.
+This module now also provides the **vectorised** engine
+(:func:`refine_partition_vectorized`) that the strong and weak minimisation
+passes run on.  It keeps the worklist idea — only blocks containing an
+*observer* of a state whose block id changed are re-examined — but evaluates
+signatures for a whole batch of states at once over the flat CSR adjacency
+arrays of :class:`~repro.ioimc.indexed.TransitionIndex`:
+
+* a signature provider encodes every (state, signature-element) pair as an
+  ``int64`` code — e.g. ``action_id * num_blocks + block_of[target]`` for a
+  strong interactive move — with set semantics per state;
+* states of the re-examined blocks are grouped by their code *sets* with
+  ``np.unique``-based grouping (:func:`group_states_by_code_sets`): codes are
+  deduplicated per state, then folded position-by-position, each fold one
+  ``np.unique`` over the still-active states — total sort work proportional
+  to the number of codes, never ``states x max_degree``;
+* Markovian rates are summed per (state, target block) with ``np.bincount``
+  in transition order and quantised exactly like the dict-based engines
+  (``float(f"{rate:.9e}")``, applied to the unique sums only), so the two
+  code paths group rates identically.
+
+Both engines compute the same (unique) coarsest stable partition and
+canonicalise block numbering to first-occurrence order over the state order
+— exactly the numbering the seed's round-based implementation produced, so
+either engine is a drop-in replacement, bit-identical downstream.
 
 For the signature functionals used here (strong bisimulation, the weak
 signature of :mod:`repro.lumping.weak`, ordinary CTMC lumpability) the
-coarsest stable partition is unique, so the processing order of the worklist
-cannot change the result, only the running time.  Total work is bounded by
-``O(splits * (block size + observer edges))`` which in practice is close to
-``O((states + transitions) * log states)`` — the textbook bound — instead of
-the seed's quadratic behaviour.
+coarsest stable partition is unique, so the processing order of splits
+cannot change the result, only the running time.
 """
 
 from __future__ import annotations
@@ -28,10 +44,23 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Hashable, Sequence
 
+import numpy as np
+
+from ..nputil import first_occurrence_renumber, gather_row_indices
 from .partition import Partition
 
 #: A signature function: ``signature(state, block_of) -> hashable key``.
 SignatureFn = Callable[[int, Sequence[int]], Hashable]
+
+#: A vectorised signature provider: ``(block, num_blocks, states) -> (src, code)``.
+#: Given the current block assignment (``int64`` per state) and the sorted
+#: array of states to evaluate, returns per-element ``int64`` arrays ``src``
+#: (the state each code belongs to, restricted to ``states``) and ``code``
+#: (a non-negative encoded signature element).  Set semantics: duplicate
+#: ``(src, code)`` pairs are collapsed, order is irrelevant.
+VectorSignatureFn = Callable[
+    [np.ndarray, int, np.ndarray], tuple[np.ndarray, np.ndarray]
+]
 
 
 def refine_with_worklist(
@@ -40,7 +69,7 @@ def refine_with_worklist(
     observers_of: Sequence[Sequence[int]],
 ) -> Partition:
     """Refine the partition induced by ``initial_keys`` to the coarsest
-    partition stable under ``signature_of``.
+    partition stable under ``signature_of`` (scalar reference engine).
 
     Parameters
     ----------
@@ -117,4 +146,151 @@ def refine_with_worklist(
     return Partition([renumber[block] for block in block_of])
 
 
-__all__ = ["refine_with_worklist"]
+# ---------------------------------------------------------------------- #
+# vectorised engine
+# ---------------------------------------------------------------------- #
+def _dedupe_state_codes(
+    local: np.ndarray, code: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort ``(local, code)`` pairs by local-then-code and drop duplicates."""
+    if not len(local):
+        return local, code
+    code_span = int(code.max()) + 1
+    if code_span <= (2**62) // max(int(local.max()) + 1, 1):
+        combined = np.unique(local * code_span + code)
+        return combined // code_span, combined % code_span
+    order = np.lexsort((code, local))
+    local, code = local[order], code[order]
+    keep = np.empty(len(local), dtype=bool)
+    keep[0] = True
+    np.logical_or(np.diff(local) != 0, np.diff(code) != 0, out=keep[1:])
+    return local[keep], code[keep]
+
+
+def group_states_by_code_sets(
+    num_rows: int,
+    local: np.ndarray,
+    code: np.ndarray,
+    initial_group: np.ndarray,
+) -> np.ndarray:
+    """Group rows ``0..num_rows-1`` by ``(initial_group, {codes})``.
+
+    ``local``/``code`` list the signature elements: row ``local[i]`` owns the
+    element ``code[i]`` (``int64``, non-negative); duplicates are collapsed
+    (set semantics).  Returns an ``int64`` group id per row; two rows share a
+    group id iff they had equal ``initial_group`` entries and equal code sets.
+
+    The grouping folds the (deduplicated, sorted) code sequence of every row
+    into an evolving group id, one position at a time; each fold is a single
+    ``np.unique`` over the rows that still have a code at that position, so
+    the total sort work is proportional to the number of codes.  Rows that
+    run out of codes at different lengths can never collide because the
+    final grouping key includes the set size.
+    """
+    _, group = np.unique(initial_group, return_inverse=True)
+    group = group.astype(np.int64)
+    if not len(local):
+        return group
+    local, code = _dedupe_state_codes(local, code)
+    counts = np.bincount(local, minlength=num_rows)
+    starts = np.zeros(num_rows, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    code_span = int(code.max()) + 1
+
+    active = np.flatnonzero(counts)
+    position = 0
+    while len(active):
+        folded = group[active] * code_span + code[starts[active] + position]
+        _, group[active] = np.unique(folded, return_inverse=True)
+        position += 1
+        active = active[counts[active] > position]
+    # Distinguish rows by how many codes they had, then by the folded id.
+    _, final = np.unique(group * (int(counts.max()) + 1) + counts, return_inverse=True)
+    return final.astype(np.int64)
+
+
+def refine_partition_vectorized(
+    num_states: int,
+    initial_keys: Sequence[Hashable],
+    signature_edges: VectorSignatureFn,
+    observers: tuple[np.ndarray, np.ndarray],
+) -> Partition:
+    """Vectorised worklist refinement over encoded signature elements.
+
+    Same contract (and same result, including block numbering) as
+    :func:`refine_with_worklist`, with the signature function replaced by a
+    batch provider and the observer lists by a CSR table:
+
+    Parameters
+    ----------
+    num_states:
+        Number of states being partitioned.
+    initial_keys:
+        One hashable key per state (same contract as
+        :meth:`Partition.from_keys`).
+    signature_edges:
+        Batch signature provider, see :data:`VectorSignatureFn`.  Codes must
+        stay below ``2**40`` so they can be combined with block ids without
+        ``int64`` overflow.
+    observers:
+        ``(indptr, sources)`` CSR table: for state ``x``, the states whose
+        signature reads ``block_of[x]``
+        (:meth:`repro.ioimc.indexed.TransitionIndex.predecessor_csr` for
+        strong bisimulation).
+    """
+    block = np.array(Partition.from_keys(initial_keys).block_of, dtype=np.int64)
+    if num_states == 0:
+        return Partition([])
+    num_blocks = int(block.max()) + 1
+    observer_indptr, observer_sources = observers
+
+    dirty = np.arange(num_states, dtype=np.int64)
+    while len(dirty):
+        # Re-examine only non-singleton blocks containing a dirty state.
+        block_sizes = np.bincount(block, minlength=num_blocks)
+        candidates = np.unique(block[dirty])
+        candidates = candidates[block_sizes[candidates] > 1]
+        if not len(candidates):
+            break
+        examined = np.zeros(num_blocks, dtype=bool)
+        examined[candidates] = True
+        states = np.flatnonzero(examined[block])  # ascending state order
+
+        source, code = signature_edges(block, num_blocks, states)
+        local = np.searchsorted(states, source)
+        group = group_states_by_code_sets(len(states), local, code, block[states])
+
+        # Assign block ids per group: within each old block, the group
+        # containing the block's first member keeps the old id (so its states
+        # do not count as changed), the rest get fresh consecutive ids.
+        unique_groups, first_index, inverse = np.unique(
+            group, return_index=True, return_inverse=True
+        )
+        owner = block[states[first_index]]
+        order = np.argsort(first_index, kind="stable")
+        _, owner_first = np.unique(owner[order], return_index=True)
+        keeps_owner_id = np.zeros(len(unique_groups), dtype=bool)
+        keeps_owner_id[order[owner_first]] = True
+        new_ids = np.empty(len(unique_groups), dtype=np.int64)
+        new_ids[keeps_owner_id] = owner[keeps_owner_id]
+        fresh_groups = order[~keeps_owner_id[order]]  # deterministic order
+        new_ids[fresh_groups] = num_blocks + np.arange(len(fresh_groups))
+        num_blocks += len(fresh_groups)
+
+        new_blocks = new_ids[inverse]
+        changed = states[new_blocks != block[states]]
+        block[states] = new_blocks
+        if not len(changed):
+            break
+        # Next round: only states observing a changed state can re-split.
+        touched = observer_sources[gather_row_indices(observer_indptr, changed)]
+        dirty = np.unique(touched).astype(np.int64)
+
+    return Partition(first_occurrence_renumber(block).tolist())
+
+
+__all__ = [
+    "group_states_by_code_sets",
+    "refine_partition_vectorized",
+    "refine_with_worklist",
+]

@@ -8,9 +8,13 @@ notions used by CADP, so quotienting by it is always sound: every measure
 defined on the I/O-IMC (and on the CTMC eventually extracted from it) is
 preserved.
 
-The implementation runs on the splitter-worklist engine of
-:mod:`repro.lumping.refinement`: signatures are keyed by interned integer
-action ids (via :class:`~repro.ioimc.indexed.TransitionIndex`), and after a
+The implementation runs on the vectorised worklist engine of
+:mod:`repro.lumping.refinement` over the flat CSR adjacency of
+:class:`~repro.ioimc.indexed.TransitionIndex`: a strong interactive move is
+encoded as the ``int64`` key ``action_id * num_blocks + block_of[target]``,
+Markovian behaviour as a ``(target block, quantised cumulative rate)`` key,
+and the states of the re-examined blocks are grouped by their key sets with
+``np.unique``-based grouping instead of per-state Python tuples.  After a
 block splits only the blocks containing predecessors of its states are
 re-examined.  This replaces the seed's per-round full recomputation and runs
 in near-linear time in the size of the transition system; the computed
@@ -21,9 +25,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..ioimc import IOIMC
+from ..nputil import gather_row_indices, round_rates_to_ids
 from .partition import Partition
-from .refinement import refine_with_worklist
+from .refinement import refine_partition_vectorized
 
 
 @dataclass(frozen=True)
@@ -49,33 +56,59 @@ class LumpingResult:
 def strong_bisimulation_partition(
     automaton: IOIMC, *, respect_labels: bool = True
 ) -> Partition:
-    """Compute the coarsest strong-bisimulation partition of ``automaton``."""
+    """Compute the coarsest strong-bisimulation partition of ``automaton``.
+
+    States start grouped by their atomic propositions (unless
+    ``respect_labels`` is ``False``) and are refined until every block agrees
+    on enabled interactive moves per target block and on cumulative Markovian
+    rates per target block (quantised to 10 significant digits, see
+    :func:`repro.nputil.round_rates_to_ids`).
+    """
     index = automaton.index()
     if respect_labels:
         initial_keys = [automaton.label_of(state) for state in automaton.states()]
     else:
         initial_keys = [frozenset()] * automaton.num_states
 
-    interactive = index.interactive_ids()
-    markovian = automaton.markovian
+    interactive = index.interactive_csr
+    markovian = index.markovian_csr()
+    num_actions = len(index.actions)
 
-    def signature(state: int, block_of) -> tuple:
-        moves = frozenset(
-            [(action_id, block_of[target]) for action_id, target in interactive[state]]
+    def signature_edges(
+        block: np.ndarray, num_blocks: int, states: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # Interactive moves: one code per (action, target block) pair.
+        picked = gather_row_indices(interactive.indptr, states)
+        move_src = interactive.source[picked].astype(np.int64)
+        move_code = (
+            interactive.action[picked].astype(np.int64) * num_blocks
+            + block[interactive.target[picked]]
         )
-        row = markovian[state]
-        if not row:
-            return (moves, ())
-        rates: dict[int, float] = {}
-        for rate, target in row:
-            block = block_of[target]
-            rates[block] = rates.get(block, 0.0) + rate
-        cumulative = tuple(
-            sorted((block, float(f"{rate:.9e}")) for block, rate in rates.items())
+        picked = gather_row_indices(markovian.indptr, states)
+        if not len(picked):
+            return move_src, move_code
+        # Markovian behaviour: cumulative rate per (state, target block),
+        # summed in transition order (bit-identical to the dict-based
+        # accumulation), quantised, and encoded as one code per pair.
+        pair = markovian.source[picked].astype(np.int64) * num_blocks + block[
+            markovian.target[picked]
+        ]
+        unique_pairs, pair_index = np.unique(pair, return_inverse=True)
+        sums = np.bincount(pair_index, weights=markovian.rate[picked])
+        rate_ids, distinct = round_rates_to_ids(sums)
+        rate_code = (
+            num_actions * num_blocks  # disjoint from the interactive code range
+            + (unique_pairs % num_blocks) * max(distinct, 1)
+            + rate_ids
         )
-        return (moves, cumulative)
+        return (
+            np.concatenate([move_src, unique_pairs // num_blocks]),
+            np.concatenate([move_code, rate_code]),
+        )
 
-    return refine_with_worklist(initial_keys, signature, index.predecessors())
+    return refine_partition_vectorized(
+        automaton.num_states, initial_keys, signature_edges, index.predecessor_csr()
+    )
 
 
 def quotient_by_partition(automaton: IOIMC, partition: Partition) -> IOIMC:

@@ -26,13 +26,19 @@ once, up front, from the automaton's :class:`~repro.ioimc.TransitionIndex`:
 * for every Markovian target, the *attribution states* whose class receives
   the rate (see below);
 * the dependency relation "state ``s``'s signature reads ``block_of[x]``",
-  inverted into the observer lists the splitter-worklist engine of
+  inverted into the observer CSR the vectorised worklist engine of
   :mod:`repro.lumping.refinement` needs.
 
-Each refinement step then only re-groups the blocks actually touched by the
-previous split, and a signature evaluation is a handful of list lookups.  The
-per-round full recomputation of the seed (quadratic in practice) is gone;
-total work is near-linear in the precomputed dependency structure.
+The precomputed relations are flattened into CSR edge arrays, and each
+refinement round encodes a whole batch of signatures as ``int64`` keys —
+``action_id * num_blocks + block_of[post]`` for a weak move,
+``block_of[post]`` for a tau landing, and a two-stage
+``(block_of[post], rate-profile id)`` key for the stable Markovian
+behaviour, where the rate profiles themselves are grouped per round with the
+same ``np.unique``-based set grouping.  Only the blocks touched by the
+previous split are re-examined.  The per-round full recomputation of the
+seed (quadratic in practice) is gone; total work is near-linear in the
+precomputed dependency structure.
 
 Markovian rate attribution
 --------------------------
@@ -50,11 +56,24 @@ of tau-nondeterministic models).
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import LumpingError
 from ..ioimc import IOIMC
+from ..nputil import csr_indptr, gather_row_indices, round_rates_to_ids
 from .partition import Partition
-from .refinement import refine_with_worklist
+from .refinement import group_states_by_code_sets, refine_partition_vectorized
 from .strong import LumpingResult
+
+
+def _flatten(rows: list, dtype=np.int64) -> tuple[np.ndarray, np.ndarray]:
+    """``(indptr, flat values)`` of a list-of-lists (CSR layout)."""
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum([len(row) for row in rows], out=indptr[1:])
+    flat = np.fromiter(
+        (value for row in rows for value in row), dtype=dtype, count=int(indptr[-1])
+    )
+    return indptr, flat
 
 
 def weak_bisimulation_partition(
@@ -67,8 +86,9 @@ def weak_bisimulation_partition(
     internal_successors = index.internal_successors
     is_visible_action = index.is_visible
     stable = index.stable
-    markovian = automaton.markovian
+    markovian_csr = index.markovian_csr()
     num_states = automaton.num_states
+    num_actions = len(index.actions)
 
     if respect_labels:
         initial_keys = [automaton.label_of(state) for state in automaton.states()]
@@ -112,50 +132,126 @@ def weak_bisimulation_partition(
             attribution[target] = cached
         return cached
 
-    # Dependency relation: which states' blocks does sig(state) read?
-    observers: list[list[int]] = [[] for _ in range(num_states)]
-    for state in range(num_states):
-        reads: set[int] = set(closure[state])
-        reads.update(post for _, post in weak_moves[state])
-        for post in stable_posts[state]:
-            for _, target in markovian[post]:
-                reads.update(attribution_states(target))
-        for read in reads:
-            observers[read].append(state)
+    # Flat CSR edge families the per-round signature encoding gathers from.
+    move_indptr, move_action = _flatten(
+        [[action_id for action_id, _ in row] for row in weak_moves]
+    )
+    _, move_post = _flatten([[post for _, post in row] for row in weak_moves])
+    closure_indptr, closure_post = _flatten(closure)
+    stable_indptr, stable_post = _flatten(stable_posts)
 
-    def signature(state: int, block_of) -> tuple:
-        moves = frozenset(
-            (action_id, block_of[post]) for action_id, post in weak_moves[state]
-        )
-        tau_blocks = frozenset(block_of[post] for post in closure[state])
-        stable_profiles: set[tuple] = set()
-        for post in stable_posts[state]:
-            rates: dict[int, float] = {}
-            for rate, target in markovian[post]:
-                landing_blocks = {
-                    block_of[landing] for landing in attribution_states(target)
-                }
-                if len(landing_blocks) > 1:
-                    raise _ambiguous_attribution(automaton, post, rate, target, landing_blocks)
-                block = next(iter(landing_blocks))
-                rates[block] = rates.get(block, 0.0) + rate
-            profile = tuple(
-                sorted((block, float(f"{rate:.9e}")) for block, rate in rates.items())
+    # Markovian rows of stable states, with the first attribution state of
+    # every target.  For a model that admits a weak partition at all, every
+    # attribution state of a target sits in the same block at every stage of
+    # the refinement (blocks only ever split), so reading one representative
+    # is equivalent to reading them all; genuinely ambiguous models are
+    # rejected by the validation pass below.
+    rate_source = markovian_csr.source
+    rate_first_landing = np.zeros(markovian_csr.num_edges, dtype=np.int64)
+    stable_flags = index.stable_flags
+    for edge in np.flatnonzero(stable_flags[rate_source]).tolist():
+        rate_first_landing[edge] = attribution_states(
+            int(markovian_csr.target[edge])
+        )[0]
+
+    def signature_edges(
+        block: np.ndarray, num_blocks: int, states: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        sources: list[np.ndarray] = []
+        codes: list[np.ndarray] = []
+        # Weak visible moves: (action, landing block).
+        picked = gather_row_indices(move_indptr, states)
+        counts = move_indptr[states + 1] - move_indptr[states]
+        sources.append(np.repeat(states, counts))
+        codes.append(move_action[picked] * num_blocks + block[move_post[picked]])
+        # Tau landings: the set of blocks reachable by internal moves.
+        tau_base = num_actions * num_blocks
+        picked = gather_row_indices(closure_indptr, states)
+        counts = closure_indptr[states + 1] - closure_indptr[states]
+        sources.append(np.repeat(states, counts))
+        codes.append(tau_base + block[closure_post[picked]])
+        # Stable Markovian behaviour: (block of the stable post, profile id),
+        # where a profile is the set of (landing block, quantised cumulative
+        # rate) pairs of one stable post — grouped per round with the same
+        # np.unique-based set grouping the engine itself uses.
+        picked = gather_row_indices(stable_indptr, states)
+        counts = stable_indptr[states + 1] - stable_indptr[states]
+        post_of_pair = stable_post[picked]
+        pair_source = np.repeat(states, counts)
+        posts = np.unique(post_of_pair)
+        profile_groups = 1
+        profile_of_post = np.zeros(num_states, dtype=np.int64)
+        if len(posts):
+            picked_rates = gather_row_indices(markovian_csr.indptr, posts)
+            if len(picked_rates):
+                pair = rate_source[picked_rates].astype(np.int64) * num_blocks + block[
+                    rate_first_landing[picked_rates]
+                ]
+                unique_pairs, pair_index = np.unique(pair, return_inverse=True)
+                sums = np.bincount(
+                    pair_index, weights=markovian_csr.rate[picked_rates]
+                )
+                rate_ids, distinct = round_rates_to_ids(sums)
+                profile_codes = (
+                    unique_pairs % num_blocks
+                ) * max(distinct, 1) + rate_ids
+                profile_sources = np.searchsorted(posts, unique_pairs // num_blocks)
+            else:
+                profile_codes = np.empty(0, dtype=np.int64)
+                profile_sources = np.empty(0, dtype=np.int64)
+            gids = group_states_by_code_sets(
+                len(posts),
+                profile_sources,
+                profile_codes,
+                np.zeros(len(posts), dtype=np.int64),
             )
-            stable_profiles.add((block_of[post], profile))
-        return (moves, tau_blocks, frozenset(stable_profiles))
+            profile_of_post[posts] = gids
+            profile_groups = int(gids.max()) + 1 if len(gids) else 1
+        stable_base = tau_base + num_blocks
+        sources.append(pair_source)
+        codes.append(
+            stable_base
+            + block[post_of_pair] * profile_groups
+            + profile_of_post[post_of_pair]
+        )
+        return np.concatenate(sources), np.concatenate(codes)
 
-    partition = refine_with_worklist(initial_keys, signature, observers)
+    # Dependency relation: which states' blocks does sig(state) read?  The
+    # tau-closure covers the stable posts; the Markovian profiles additionally
+    # read the (representative) attribution landing of every rate.
+    all_states = np.arange(num_states, dtype=np.int64)
+    landing_reads = gather_row_indices(markovian_csr.indptr, stable_post)
+    reader = np.concatenate(
+        [
+            np.repeat(all_states, np.diff(move_indptr)),
+            np.repeat(all_states, np.diff(closure_indptr)),
+            np.repeat(
+                np.repeat(all_states, np.diff(stable_indptr)),
+                np.diff(markovian_csr.indptr)[stable_post],
+            ),
+        ]
+    )
+    read = np.concatenate(
+        [move_post, closure_post, rate_first_landing[landing_reads]]
+    )
+    packed = np.unique(read * num_states + reader)
+    read, reader = np.divmod(packed, num_states)
+    observer_indptr = csr_indptr(read, num_states)
 
-    # The worklist engine never evaluates signatures of singleton blocks, so
-    # an ambiguous attribution may go unnoticed during refinement.  Blocks
-    # only ever split, hence any ambiguity persists into the final partition:
-    # one validation pass over the stable states catches every case.
+    partition = refine_partition_vectorized(
+        num_states, initial_keys, signature_edges, (observer_indptr, reader)
+    )
+
+    # The refinement reads one representative attribution landing per
+    # Markovian target, so a genuinely nondeterministic (ambiguous)
+    # attribution goes unnoticed during refinement.  Blocks only ever split,
+    # hence any ambiguity persists into the final partition: one validation
+    # pass over the stable states catches every case.
     block_of = partition.block_of
     for post in range(num_states):
         if not stable[post]:
             continue
-        for rate, target in markovian[post]:
+        for rate, target in automaton.markovian[post]:
             landing_blocks = {
                 block_of[landing] for landing in attribution_states(target)
             }
