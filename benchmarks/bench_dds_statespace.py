@@ -8,10 +8,13 @@ The paper reports, for the distributed database system:
 * 16,695 states for the SAN model of [19].
 
 This benchmark regenerates those statistics with this library's pipeline
-(the largest intermediate differs because the composition order and the
-bisimulation variant differ — strong bisimulation here vs. CADP's branching
-bisimulation — but the final CTMC matches the paper exactly) and with the
-flat SAN-style GSPN baseline.
+(the largest intermediate differs because the composition order differs
+from CADP's; the final CTMC matches the paper exactly, and since PR 3 the
+paper's branching-bisimulation reduction is available as
+``build_dds_evaluator(reduction="branching")`` — it produces the same
+trajectory as the default strong mode on this model, pinned in
+``tests/test_golden_regression.py``) and with the flat SAN-style GSPN
+baseline.
 """
 
 import pytest

@@ -47,7 +47,15 @@ class EvaluationReport:
 
 
 class ArcadeEvaluator:
-    """Evaluate an :class:`ArcadeModel` through the compositional pipeline."""
+    """Evaluate an :class:`ArcadeModel` through the compositional pipeline.
+
+    ``reduction`` selects the bisimulation variant applied between
+    composition steps — ``"strong"`` (default), ``"branching"`` (the
+    equivalence CADP's minimisation uses in the paper's tool chain),
+    ``"weak"`` or ``"none"`` — and is forwarded to
+    :class:`repro.composer.Composer` together with the reduction-policy
+    knobs (``reduce_every_n``, ``adaptive_reduction_states``).
+    """
 
     def __init__(
         self,

@@ -1,6 +1,7 @@
 """Compositional aggregation: composing and reducing the block I/O-IMCs."""
 
 from .composer import (
+    REDUCTION_MODES,
     ComposedSystem,
     CompositionOrder,
     CompositionStatistics,
@@ -11,6 +12,7 @@ from .composer import (
 from .ordering import hierarchical_order
 
 __all__ = [
+    "REDUCTION_MODES",
     "ComposedSystem",
     "CompositionOrder",
     "CompositionStatistics",

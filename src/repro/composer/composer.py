@@ -28,6 +28,7 @@ from ..ioimc import IOIMC, compose, hide
 from ..lumping import (
     eliminate_vanishing_chains,
     maximal_progress_cut,
+    minimize_branching,
     minimize_strong,
     minimize_weak,
 )
@@ -35,6 +36,9 @@ from ..arcade.semantics import TranslatedModel
 
 #: Composition orders are nested sequences of block names.
 CompositionOrder = Sequence["str | CompositionOrder"]
+
+#: The bisimulation variants the reduction pipeline can apply between steps.
+REDUCTION_MODES = ("strong", "weak", "branching", "none")
 
 
 @dataclass(frozen=True)
@@ -140,8 +144,9 @@ class Composer:
     reduction:
         Bisimulation variant applied to every intermediate model:
         ``"strong"`` (default; always sound, preserves every measure),
-        ``"weak"`` (tau-abstracting, closer to CADP's branching reduction)
-        or ``"none"``.
+        ``"branching"`` (inert-tau-abstracting — the equivalence CADP's
+        minimisation uses in the paper's tool chain), ``"weak"``
+        (tau-abstracting, the coarsest of the three) or ``"none"``.
     eliminate_vanishing:
         Collapse tau-only vanishing chains between composition steps
         (:func:`repro.lumping.eliminate_vanishing_chains`).
@@ -173,9 +178,9 @@ class Composer:
         reduce_every_n: int = 1,
         adaptive_reduction_states: int | None = None,
     ) -> None:
-        if reduction not in ("strong", "weak", "none"):
+        if reduction not in REDUCTION_MODES:
             raise CompositionError(
-                f"unknown reduction {reduction!r} (expected 'strong', 'weak' or 'none')"
+                f"unknown reduction {reduction!r} (expected one of {REDUCTION_MODES})"
             )
         if reduce_every_n < 1:
             raise CompositionError(
@@ -355,6 +360,8 @@ class Composer:
             automaton = minimize_strong(automaton).quotient
         elif self.reduction == "weak":
             automaton = minimize_weak(automaton).quotient
+        elif self.reduction == "branching":
+            automaton = minimize_branching(automaton).quotient
         return automaton
 
 

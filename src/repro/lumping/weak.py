@@ -52,6 +52,13 @@ rate; this raises :class:`~repro.errors.LumpingError` instead of silently
 picking an arbitrary class (the seed attributed the rate to the
 maximum-numbered reachable block, which mis-states the Markovian behaviour
 of tau-nondeterministic models).
+
+The closure flattening, the per-round rate-profile grouping and the quotient
+construction are shared with the branching engine
+(:mod:`repro.lumping.branching`) through :mod:`repro.lumping.closure`; the
+two engines differ in which tau steps they abstract from (any tau here, only
+*inert* — class-internal — tau there) and in where a Markovian rate lands
+(tau-sinks of the target here, the direct target there).
 """
 
 from __future__ import annotations
@@ -60,20 +67,11 @@ import numpy as np
 
 from ..errors import LumpingError
 from ..ioimc import IOIMC
-from ..nputil import csr_indptr, gather_row_indices, round_rates_to_ids
+from ..nputil import csr_indptr, gather_row_indices
+from .closure import flatten_rows, markovian_profile_ids, quotient_modulo_inert_tau
 from .partition import Partition
-from .refinement import group_states_by_code_sets, refine_partition_vectorized
+from .refinement import refine_partition_vectorized
 from .strong import LumpingResult
-
-
-def _flatten(rows: list, dtype=np.int64) -> tuple[np.ndarray, np.ndarray]:
-    """``(indptr, flat values)`` of a list-of-lists (CSR layout)."""
-    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
-    np.cumsum([len(row) for row in rows], out=indptr[1:])
-    flat = np.fromiter(
-        (value for row in rows for value in row), dtype=dtype, count=int(indptr[-1])
-    )
-    return indptr, flat
 
 
 def weak_bisimulation_partition(
@@ -133,12 +131,12 @@ def weak_bisimulation_partition(
         return cached
 
     # Flat CSR edge families the per-round signature encoding gathers from.
-    move_indptr, move_action = _flatten(
+    move_indptr, move_action = flatten_rows(
         [[action_id for action_id, _ in row] for row in weak_moves]
     )
-    _, move_post = _flatten([[post for _, post in row] for row in weak_moves])
-    closure_indptr, closure_post = _flatten(closure)
-    stable_indptr, stable_post = _flatten(stable_posts)
+    _, move_post = flatten_rows([[post for _, post in row] for row in weak_moves])
+    closure_indptr, closure_post = flatten_rows(closure)
+    stable_indptr, stable_post = flatten_rows(stable_posts)
 
     # Markovian rows of stable states, with the first attribution state of
     # every target.  For a model that admits a weak partition at all, every
@@ -179,34 +177,9 @@ def weak_bisimulation_partition(
         post_of_pair = stable_post[picked]
         pair_source = np.repeat(states, counts)
         posts = np.unique(post_of_pair)
-        profile_groups = 1
-        profile_of_post = np.zeros(num_states, dtype=np.int64)
-        if len(posts):
-            picked_rates = gather_row_indices(markovian_csr.indptr, posts)
-            if len(picked_rates):
-                pair = rate_source[picked_rates].astype(np.int64) * num_blocks + block[
-                    rate_first_landing[picked_rates]
-                ]
-                unique_pairs, pair_index = np.unique(pair, return_inverse=True)
-                sums = np.bincount(
-                    pair_index, weights=markovian_csr.rate[picked_rates]
-                )
-                rate_ids, distinct = round_rates_to_ids(sums)
-                profile_codes = (
-                    unique_pairs % num_blocks
-                ) * max(distinct, 1) + rate_ids
-                profile_sources = np.searchsorted(posts, unique_pairs // num_blocks)
-            else:
-                profile_codes = np.empty(0, dtype=np.int64)
-                profile_sources = np.empty(0, dtype=np.int64)
-            gids = group_states_by_code_sets(
-                len(posts),
-                profile_sources,
-                profile_codes,
-                np.zeros(len(posts), dtype=np.int64),
-            )
-            profile_of_post[posts] = gids
-            profile_groups = int(gids.max()) + 1 if len(gids) else 1
+        profile_of_post, profile_groups = markovian_profile_ids(
+            posts, markovian_csr, rate_first_landing, block, num_blocks, num_states
+        )
         stable_base = tau_base + num_blocks
         sources.append(pair_source)
         codes.append(
@@ -284,76 +257,8 @@ def minimize_weak(automaton: IOIMC, *, respect_labels: bool = True) -> LumpingRe
     exhausting the class's internal moves).
     """
     partition = weak_bisimulation_partition(automaton, respect_labels=respect_labels)
-    quotient = _weak_quotient(automaton, partition)
+    quotient = quotient_modulo_inert_tau(automaton, partition)
     return LumpingResult(quotient=quotient, block_of_state=tuple(partition.block_of))
-
-
-def _weak_quotient(automaton: IOIMC, partition) -> IOIMC:
-    """Weak-bisimulation quotient: union of non-inert moves, stable rates.
-
-    The interactive moves of a class are the union of its members' moves into
-    *other* classes (plus non-internal self-class moves): under a weak
-    partition two members need not enable the same direct transitions — one
-    may reach a class only through a tau-chain passing another member — so
-    taking a single representative's outgoing transitions can disconnect
-    weakly-reachable classes (that bug survived in the seed until the
-    differential suite caught it).
-
-    The Markovian behaviour of a class is taken from one of its *stable*
-    members: all stable members of a class agree on their cumulative rates by
-    construction of the partition, and unstable members cannot let time pass
-    (maximal progress).
-    """
-    index = automaton.index()
-    block_of = partition.block_of
-    num_blocks = partition.num_blocks
-    stable = index.stable
-    internals = automaton.signature.internals
-
-    #: Per class: a member whose name/labels/rates describe the class —
-    #: stable members are preferred (they carry the tangible behaviour).
-    representative: list[int | None] = [None] * num_blocks
-    interactive: list[list[tuple[str, int]]] = [[] for _ in range(num_blocks)]
-    seen: list[set[tuple[str, int]]] = [set() for _ in range(num_blocks)]
-    for state in automaton.states():
-        block = block_of[state]
-        current = representative[block]
-        if current is None or (stable[state] and not stable[current]):
-            representative[block] = state
-        for action, target in automaton.interactive[state]:
-            target_block = block_of[target]
-            if target_block == block and action in internals:
-                continue  # inert: internal move inside the class
-            entry = (action, target_block)
-            if entry not in seen[block]:
-                seen[block].add(entry)
-                interactive[block].append(entry)
-
-    markovian: list[list[tuple[float, int]]] = [[] for _ in range(num_blocks)]
-    labels: dict[int, frozenset[str]] = {}
-    names: list[str] = []
-    for block, state in enumerate(representative):
-        assert state is not None
-        names.append(automaton.state_name(state))
-        props = automaton.label_of(state)
-        if props:
-            labels[block] = props
-        rates: dict[int, float] = {}
-        for rate, target in automaton.markovian[state]:
-            rates[block_of[target]] = rates.get(block_of[target], 0.0) + rate
-        markovian[block] = [(rate, target) for target, rate in sorted(rates.items())]
-
-    quotient = IOIMC.trusted(
-        automaton.name,
-        automaton.signature,
-        num_blocks,
-        block_of[automaton.initial],
-        interactive,
-        markovian,
-        labels,
-        names,
-    )
-    return quotient.restrict_to_reachable()
 
 
 __all__ = ["minimize_weak", "weak_bisimulation_partition"]

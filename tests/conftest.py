@@ -40,6 +40,22 @@ def rcs_modular_evaluator():
     return build_rcs_modular_evaluator()
 
 
+@pytest.fixture(scope="session")
+def dds_branching_evaluator():
+    """The full DDS run under branching-bisimulation reduction (the paper's
+    actual CADP equivalence) — shared by the branching golden pins."""
+    from repro.casestudies.dds import build_dds_evaluator
+
+    return build_dds_evaluator(reduction="branching")
+
+
+@pytest.fixture(scope="session")
+def rcs_branching_modular_evaluator():
+    from repro.casestudies.rcs import build_rcs_modular_evaluator
+
+    return build_rcs_modular_evaluator(reduction="branching")
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--run-differential",

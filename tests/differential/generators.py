@@ -1,4 +1,4 @@
-"""Seeded random Arcade-model generator for the differential suite.
+"""Seeded random Arcade-model generators for the differential suite.
 
 Every model produced here is
 
@@ -6,13 +6,32 @@ Every model produced here is
 * *small* — 2 to 4 basic components, so the flat (non-compositional)
   baseline can build the full product without exceeding its state budget;
 * *deterministic* — the same seed always yields the same model, so failures
-  are reproducible by seed number alone.
+  are reproducible by family and seed number alone (each family seeds its
+  own ``random.Random`` with a family-tagged string, so the families do not
+  mirror each other).
 
-The generator deliberately samples the constructs the reduction engine has
-to get right: shared FCFS repair queues (which create tau-interleavings that
-the weak reduction must keep confluent), dedicated repair, cold-spare pairs
-managed by a spare-management unit, and random AND/OR/K-out-of-N failure
-criteria over the component ``down`` literals.
+Four families sample the constructs the reduction engines have to get right:
+
+:func:`random_arcade_model`
+    The base corpus: shared FCFS repair queues (which create
+    tau-interleavings that the tau-abstracting reductions must keep
+    confluent), dedicated repair, cold-spare pairs managed by a
+    spare-management unit, and random AND/OR/K-out-of-N failure criteria
+    over the component ``down`` literals.
+:func:`random_erlang_model`
+    Erlang (phase-type) failure and repair distributions, which multiply
+    the per-component state space and exercise the phase-tracking of the
+    translation.  Odd seeds additionally attach a load-sharing degradation
+    group; see the *simulator caveat* in the function's docstring.
+:func:`random_priority_model`
+    Priority-preemptive (and non-preemptive) repair queues with distinct
+    per-component priorities — preemption introduces extra interleavings of
+    repair signals.
+:func:`random_fdep_model`
+    Destructive functional dependencies: a trigger component whose failure
+    destroys a dependent component, which then needs its dedicated
+    ``time_to_repair_df`` repair (including the Fig. 3 re-destruction when
+    the trigger is still down at repair completion).
 """
 
 from __future__ import annotations
@@ -30,7 +49,8 @@ from repro.arcade import (
     spare_group,
 )
 from repro.arcade.expressions import And, Expression, Or
-from repro.distributions import Exponential
+from repro.arcade.operational_modes import degradation_group
+from repro.distributions import Erlang, Exponential
 
 
 def random_arcade_model(seed: int) -> ArcadeModel:
@@ -89,6 +109,170 @@ def random_arcade_model(seed: int) -> ArcadeModel:
     return model
 
 
+def random_erlang_model(seed: int) -> ArcadeModel:
+    """A random model whose failure (and some repair) times are Erlang.
+
+    Even seeds produce plain components (no operational-mode groups); odd
+    seeds attach a ``normal/degraded`` load-sharing group to the first
+    component, triggered by the failure of the second, with a higher-rate
+    Erlang time-to-failure in the degraded mode.
+
+    Simulator caveat
+    ----------------
+    The Monte-Carlo simulator *redraws* the complete time-to-failure on
+    every operational-mode switch, whereas the analytical translation
+    preserves the already-reached Erlang phase (see
+    :meth:`repro.simulation.ArcadeSimulator._schedule_failure`).  For
+    exponential times the two coincide (memorylessness); for Erlang times
+    they do not, so only the redraw-free *even* seeds are eligible for the
+    statistical simulator cross-check.  The exact flat-baseline cross-check
+    is unaffected — both sides of that comparison are analytic.
+    """
+    rng = random.Random(f"erlang-{seed}")
+    model = ArcadeModel(name=f"random_erlang_model_{seed}")
+
+    num_components = rng.randint(2, 3)
+    names = [f"c{index}" for index in range(num_components)]
+    degraded = seed % 2 == 1
+
+    for position, name in enumerate(names):
+        phases = rng.randint(2, 3)
+        phase_rate = rng.uniform(0.1, 0.5) * phases
+        if rng.random() < 0.5:
+            repair: Erlang | Exponential = Erlang(2, rng.uniform(1.0, 3.0))
+        else:
+            repair = Exponential(rng.uniform(0.5, 2.0))
+        if degraded and position == 0:
+            model.add_component(
+                BasicComponent(
+                    name,
+                    operational_modes=[degradation_group(down(names[1]))],
+                    time_to_failures=[
+                        Erlang(phases, phase_rate),  # normal
+                        Erlang(phases, phase_rate * rng.uniform(1.5, 3.0)),  # degraded
+                    ],
+                    time_to_repairs=repair,
+                )
+            )
+        else:
+            model.add_component(
+                BasicComponent(
+                    name,
+                    time_to_failures=Erlang(phases, phase_rate),
+                    time_to_repairs=repair,
+                )
+            )
+
+    if num_components >= 3 and rng.random() < 0.5:
+        model.add_repair_unit(RepairUnit("rep0", names[:1], RepairStrategy.DEDICATED))
+        model.add_repair_unit(RepairUnit("rep1", names[1:], RepairStrategy.FCFS))
+    else:
+        model.add_repair_unit(RepairUnit("rep0", names, RepairStrategy.FCFS))
+
+    model.set_system_down(_random_failure_criterion(rng, names))
+    model.validate()
+    return model
+
+
+def random_priority_model(seed: int) -> ArcadeModel:
+    """A random model repaired through a priority (mostly preemptive) queue.
+
+    All distributions are exponential, so preemption-with-restart (the
+    simulator) and phase-preserving preemption (the translation) coincide
+    and the family is eligible for the simulator cross-check.
+    """
+    rng = random.Random(f"priority-{seed}")
+    model = ArcadeModel(name=f"random_priority_model_{seed}")
+
+    num_components = rng.randint(3, 4)
+    names = [f"c{index}" for index in range(num_components)]
+    for name in names:
+        model.add_component(
+            BasicComponent(
+                name,
+                time_to_failures=Exponential(rng.uniform(0.05, 0.4)),
+                time_to_repairs=Exponential(rng.uniform(0.5, 2.0)),
+            )
+        )
+
+    strategy = (
+        RepairStrategy.PRIORITY_PREEMPTIVE
+        if rng.random() < 0.7
+        else RepairStrategy.PRIORITY_NON_PREEMPTIVE
+    )
+    priorities = list(range(1, num_components + 1))
+    rng.shuffle(priorities)
+    if num_components == 4 and rng.random() < 0.5:
+        # A priority queue over three components plus one dedicated unit.
+        model.add_repair_unit(
+            RepairUnit("prio_rep", names[:3], strategy, priorities=priorities[:3])
+        )
+        model.add_repair_unit(
+            RepairUnit("ded_rep", names[3:], RepairStrategy.DEDICATED)
+        )
+    else:
+        model.add_repair_unit(
+            RepairUnit("prio_rep", names, strategy, priorities=priorities)
+        )
+
+    model.set_system_down(_random_failure_criterion(rng, names))
+    model.validate()
+    return model
+
+
+def random_fdep_model(seed: int) -> ArcadeModel:
+    """A random model with a destructive functional dependency.
+
+    The last component is destroyed whenever its trigger expression over the
+    other components' failures becomes true, and is repaired through its
+    dedicated ``time_to_repair_df`` distribution (re-destroyed at repair
+    completion while the trigger still holds, as in Fig. 3 of the paper).
+    All distributions are exponential, so the family is eligible for the
+    simulator cross-check.
+    """
+    rng = random.Random(f"fdep-{seed}")
+    model = ArcadeModel(name=f"random_fdep_model_{seed}")
+
+    num_components = rng.randint(3, 4)
+    names = [f"c{index}" for index in range(num_components)]
+    triggers = names[: num_components - 1]
+    dependent = names[-1]
+
+    for name in triggers:
+        model.add_component(
+            BasicComponent(
+                name,
+                time_to_failures=Exponential(rng.uniform(0.05, 0.4)),
+                time_to_repairs=Exponential(rng.uniform(0.5, 2.0)),
+            )
+        )
+    if rng.random() < 0.5:
+        fdep: Expression = down(rng.choice(triggers))
+    else:
+        fdep = Or([down(name) for name in rng.sample(triggers, 2)])
+    model.add_component(
+        BasicComponent(
+            dependent,
+            time_to_failures=Exponential(rng.uniform(0.05, 0.4)),
+            time_to_repairs=Exponential(rng.uniform(0.5, 2.0)),
+            time_to_repair_df=Exponential(rng.uniform(0.5, 2.0)),
+            destructive_fdep=fdep,
+        )
+    )
+
+    if rng.random() < 0.5:
+        model.add_repair_unit(RepairUnit("rep0", names, RepairStrategy.FCFS))
+    else:
+        model.add_repair_unit(RepairUnit("rep0", triggers, RepairStrategy.FCFS))
+        model.add_repair_unit(
+            RepairUnit("rep1", [dependent], RepairStrategy.DEDICATED)
+        )
+
+    model.set_system_down(_random_failure_criterion(rng, names))
+    model.validate()
+    return model
+
+
 def _random_failure_criterion(rng: random.Random, names: list[str]) -> Expression:
     """A random fault tree over the component ``down`` literals."""
     literals = [down(name) for name in names]
@@ -108,4 +292,9 @@ def _random_failure_criterion(rng: random.Random, names: list[str]) -> Expressio
     return Or([And(first), And(second)])
 
 
-__all__ = ["random_arcade_model"]
+__all__ = [
+    "random_arcade_model",
+    "random_erlang_model",
+    "random_fdep_model",
+    "random_priority_model",
+]

@@ -1,19 +1,29 @@
-"""Differential testing of the reduction engine against independent oracles.
+"""Differential testing of the reduction engines against independent oracles.
 
 For every seeded random Arcade model (see :mod:`generators`) the measures
 computed through the *composed + reduced* pipeline must agree
 
 1. **exactly** (1e-9) with the flat, non-compositional baseline
    (:func:`repro.baselines.flat.flat_compose`) — same semantics, no
-   intermediate reduction at all — under both strong and weak reduction;
+   intermediate reduction at all — under strong, weak AND branching
+   reduction;
 2. **statistically** with the discrete-event Monte-Carlo simulator
    (:class:`repro.simulation.ArcadeSimulator`), an entirely separate
    implementation of the Arcade semantics that never builds a state space.
 
+The corpus spans four generator families: the base corpus (FCFS queues,
+cold spares, random fault trees), Erlang phase-type distributions,
+priority-preemptive repair and destructive FDEPs.  Erlang models with
+operational-mode switches are excluded from the simulator cross-check
+because the simulator redraws the whole time-to-failure on a mode switch
+while the translation preserves the reached phase (see
+:func:`generators.random_erlang_model`); their flat cross-check is exact
+regardless.
+
 Together with the golden pins of ``tests/test_golden_regression.py`` this is
 the safety net that lets the lumping/composition engine be rewritten for
 speed: a mis-attributed rate, a wrong split or an over-eager merge shows up
-as a measurable disagreement on some seed.
+as a measurable disagreement on some family/seed.
 
 Run with ``pytest tests/differential --run-differential``.
 """
@@ -27,58 +37,95 @@ from repro.arcade.semantics import translate_model
 from repro.baselines.flat import flat_compose
 from repro.ctmc import point_availability, steady_state_unavailability, unreliability
 
-from .generators import random_arcade_model
+from .generators import (
+    random_arcade_model,
+    random_erlang_model,
+    random_fdep_model,
+    random_priority_model,
+)
 
 pytestmark = pytest.mark.differential
 
-#: Random-model seeds for the exact (flat-baseline) cross-check.
+#: Every reduction mode of the compositional pipeline is cross-checked.
+REDUCTIONS = ["strong", "weak", "branching"]
+
+#: Random-model seeds of the base corpus.
 SEEDS = list(range(30))
-#: Subset cross-checked against the (slower) Monte-Carlo simulator.
-SIMULATION_SEEDS = [0, 5, 11, 17, 23]
+
+#: Generator families and their seed ranges for the exact flat cross-check.
+FAMILIES = {
+    "base": (random_arcade_model, SEEDS),
+    "erlang": (random_erlang_model, list(range(8))),
+    "priority": (random_priority_model, list(range(8))),
+    "fdep": (random_fdep_model, list(range(8))),
+}
+
+#: The full (family, seed) corpus, flattened for parametrisation.
+CORPUS = [
+    (family, seed) for family, (_, seeds) in FAMILIES.items() for seed in seeds
+]
+
+#: (family, seed) cases cross-checked against the (slower) Monte-Carlo
+#: simulator.  Erlang cases must be redraw-free (even seeds — no
+#: operational-mode groups, hence no mid-life TTF redraw in the simulator).
+SIMULATION_CASES = (
+    [("base", seed) for seed in (0, 5, 11, 17, 23)]
+    + [("erlang", 0), ("erlang", 2)]
+    + [("priority", 1), ("priority", 4)]
+    + [("fdep", 0), ("fdep", 5)]
+)
+
 #: Mission time for the unreliability comparisons.
 HORIZON = 10.0
 #: Trajectories per simulated model.
 SIMULATION_RUNS = 3000
 
-#: Flat-baseline measures, computed once per seed (shared by both reductions).
-_flat_cache: dict[int, tuple[float, float]] = {}
+#: Flat-baseline measures, computed once per model (shared by all reductions).
+_flat_cache: dict[tuple[str, int], tuple[float, float]] = {}
 
 
-def flat_oracle(seed: int) -> tuple[float, float]:
+def build_model(family: str, seed: int):
+    generator, _ = FAMILIES[family]
+    return generator(seed)
+
+
+def flat_oracle(family: str, seed: int) -> tuple[float, float]:
     """(unavailability, unreliability at HORIZON) from the flat baseline."""
-    if seed not in _flat_cache:
-        model = random_arcade_model(seed)
+    key = (family, seed)
+    if key not in _flat_cache:
+        model = build_model(family, seed)
         flat = flat_compose(translate_model(model))
-        assert flat.completed, f"flat baseline exceeded its budget on seed {seed}"
+        assert flat.completed, f"flat baseline exceeded its budget on {family}-{seed}"
         unavailability = steady_state_unavailability(flat.ctmc)
         no_repair = flat_compose(translate_model(model.without_repair()))
         assert no_repair.completed
         unreliability_value = unreliability(no_repair.ctmc, HORIZON)
-        _flat_cache[seed] = (unavailability, unreliability_value)
-    return _flat_cache[seed]
+        _flat_cache[key] = (unavailability, unreliability_value)
+    return _flat_cache[key]
 
 
 def test_enough_models_are_generated():
     assert len(SEEDS) >= 25
+    assert len(CORPUS) >= 50
 
 
-@pytest.mark.parametrize("seed", SEEDS)
-def test_generated_models_are_valid(seed):
-    model = random_arcade_model(seed)
+@pytest.mark.parametrize("family,seed", CORPUS)
+def test_generated_models_are_valid(family, seed):
+    model = build_model(family, seed)
     model.validate()
     assert model.components
-    # Determinism: the same seed yields the same model.
-    again = random_arcade_model(seed)
+    # Determinism: the same family and seed yield the same model.
+    again = build_model(family, seed)
     assert model.summary() == again.summary()
     assert str(model.system_down) == str(again.system_down)
 
 
-@pytest.mark.parametrize("reduction", ["strong", "weak"])
-@pytest.mark.parametrize("seed", SEEDS)
-def test_composed_reduced_agrees_with_flat(seed, reduction):
+@pytest.mark.parametrize("reduction", REDUCTIONS)
+@pytest.mark.parametrize("family,seed", CORPUS)
+def test_composed_reduced_agrees_with_flat(family, seed, reduction):
     """Composed+reduced measures match the flat baseline to 1e-9."""
-    flat_unavailability, flat_unreliability = flat_oracle(seed)
-    evaluator = ArcadeEvaluator(random_arcade_model(seed), reduction=reduction)
+    flat_unavailability, flat_unreliability = flat_oracle(family, seed)
+    evaluator = ArcadeEvaluator(build_model(family, seed), reduction=reduction)
     assert evaluator.unavailability() == pytest.approx(
         flat_unavailability, rel=1e-9, abs=1e-9
     )
@@ -87,15 +134,15 @@ def test_composed_reduced_agrees_with_flat(seed, reduction):
     )
 
 
-@pytest.mark.parametrize("seed", SIMULATION_SEEDS)
-def test_simulation_agrees_statistically(seed):
+@pytest.mark.parametrize("family,seed", SIMULATION_CASES)
+def test_simulation_agrees_statistically(family, seed):
     """The Monte-Carlo simulator agrees within its sampling noise.
 
     Both checks compare a binomial proportion over SIMULATION_RUNS
     trajectories against the analytic value; the tolerance is five standard
     errors plus a small floor for the Monte-Carlo edge cases.
     """
-    model = random_arcade_model(seed)
+    model = build_model(family, seed)
     evaluator = ArcadeEvaluator(model, reduction="strong")
     # The simulator runs the *repairable* model and records the first system
     # failure, i.e. the first-passage unreliability (assume_no_repair=False).

@@ -29,6 +29,31 @@ DDS_GOLDEN = {
     "reliability_5_weeks": 0.40201757107868796,
 }
 
+#: Captured from the first branching-mode DDS run (PR 3, vectorised
+#: signature-refinement engine).  Branching bisimulation — the equivalence
+#: CADP's minimisation actually applies in the paper's tool chain — must
+#: land on the same final CTMC and the same Section-5 trajectory as the
+#: strong reduction on this model, to double precision.
+DDS_BRANCHING_GOLDEN = {
+    "ctmc_states": 2100,
+    "ctmc_transitions": 15120,
+    "largest_intermediate_states": 90250,
+    "largest_intermediate_transitions": 467875,
+    "composition_steps": 56,
+    "availability": 0.9999965021714378,
+    "reliability_5_weeks": 0.40201757107868796,
+}
+
+#: Captured from the first branching-mode modular RCS run (PR 3).
+RCS_BRANCHING_GOLDEN = {
+    "pump_ctmc_states": 1164,
+    "pump_ctmc_transitions": 8928,
+    "heat_ctmc_states": 72,
+    "heat_ctmc_transitions": 384,
+    "pump_unavailability": 1.1867998687760919e-08,
+    "heat_unavailability": 2.938239864253235e-11,
+}
+
 #: Captured from the seed's modular RCS run (Section 5.2.2).
 RCS_GOLDEN = {
     "pump_ctmc_states": 1164,
@@ -118,6 +143,72 @@ class TestRCSGolden:
         )
         assert modular.unreliability(RCS_MISSION_TIME) == pytest.approx(
             RCS_GOLDEN["unreliability_50h"], rel=1e-12
+        )
+
+
+@pytest.mark.slow
+class TestDDSBranchingGolden:
+    """Branching-mode trajectory and measures of the full DDS run."""
+
+    def test_final_ctmc_size(self, dds_branching_evaluator):
+        ctmc = dds_branching_evaluator.ctmc
+        assert ctmc.num_states == DDS_BRANCHING_GOLDEN["ctmc_states"]
+        assert ctmc.num_transitions == DDS_BRANCHING_GOLDEN["ctmc_transitions"]
+
+    def test_state_space_trajectory(self, dds_branching_evaluator):
+        dds_branching_evaluator.availability()
+        statistics = dds_branching_evaluator.composed.statistics
+        assert (
+            statistics.largest_intermediate_states
+            == DDS_BRANCHING_GOLDEN["largest_intermediate_states"]
+        )
+        assert (
+            statistics.largest_intermediate_transitions
+            == DDS_BRANCHING_GOLDEN["largest_intermediate_transitions"]
+        )
+        assert len(statistics.steps) == DDS_BRANCHING_GOLDEN["composition_steps"]
+
+    def test_measures(self, dds_branching_evaluator):
+        assert dds_branching_evaluator.availability() == pytest.approx(
+            DDS_BRANCHING_GOLDEN["availability"], rel=1e-12
+        )
+        assert dds_branching_evaluator.reliability(
+            DDS_MISSION_TIME
+        ) == pytest.approx(DDS_BRANCHING_GOLDEN["reliability_5_weeks"], rel=1e-12)
+
+    def test_agrees_with_strong_mode_to_solver_precision(
+        self, dds_full_evaluator, dds_branching_evaluator
+    ):
+        assert dds_branching_evaluator.availability() == pytest.approx(
+            dds_full_evaluator.availability(), rel=1e-12
+        )
+
+
+@pytest.mark.slow
+class TestRCSBranchingGolden:
+    """Branching-mode subsystem sizes and measures of the modular RCS run."""
+
+    def test_subsystem_ctmc_sizes(self, rcs_branching_modular_evaluator):
+        pumps = rcs_branching_modular_evaluator.evaluators["pumps"]
+        heat = rcs_branching_modular_evaluator.evaluators["heat_exchange"]
+        assert pumps.ctmc.num_states == RCS_BRANCHING_GOLDEN["pump_ctmc_states"]
+        assert (
+            pumps.ctmc.num_transitions
+            == RCS_BRANCHING_GOLDEN["pump_ctmc_transitions"]
+        )
+        assert heat.ctmc.num_states == RCS_BRANCHING_GOLDEN["heat_ctmc_states"]
+        assert (
+            heat.ctmc.num_transitions == RCS_BRANCHING_GOLDEN["heat_ctmc_transitions"]
+        )
+
+    def test_subsystem_unavailabilities(self, rcs_branching_modular_evaluator):
+        pumps = rcs_branching_modular_evaluator.evaluators["pumps"]
+        heat = rcs_branching_modular_evaluator.evaluators["heat_exchange"]
+        assert pumps.unavailability() == pytest.approx(
+            RCS_BRANCHING_GOLDEN["pump_unavailability"], rel=1e-12
+        )
+        assert heat.unavailability() == pytest.approx(
+            RCS_BRANCHING_GOLDEN["heat_unavailability"], rel=1e-12
         )
 
 

@@ -8,6 +8,7 @@ from repro.ioimc import IOIMCBuilder, Signature, compose, hide
 from repro.lumping import (
     eliminate_vanishing_chains,
     maximal_progress_cut,
+    minimize_branching,
     minimize_strong,
     minimize_weak,
     strong_bisimulation_partition,
@@ -236,6 +237,116 @@ class TestWeakRateAttribution:
         by_name = {automaton.state_name(state): state for state in automaton.states()}
         assert partition.block_of[by_name["t"]] != partition.block_of[by_name["u"]]
         assert partition.block_of[by_name["s1"]] == partition.block_of[by_name["s2"]]
+
+
+def interactive_structure(automaton):
+    """Per state: the deduplicated, sorted ``(action, target)`` moves."""
+    return [
+        sorted(set(automaton.interactive[state])) for state in automaton.states()
+    ]
+
+
+def markovian_structure(automaton):
+    """Per state: cumulative Markovian rate per target state."""
+    structure = []
+    for state in automaton.states():
+        rates: dict[int, float] = {}
+        for rate, target in automaton.markovian[state]:
+            rates[target] = rates.get(target, 0.0) + rate
+        structure.append(rates)
+    return structure
+
+
+class TestQuotientTransitionStructure:
+    """The quotients' *transition structure*, pinned for all three modes.
+
+    The earlier tests only asserted block counts, so a quotient that merged
+    the right states but wired the wrong transitions between them (the exact
+    bug class of the seed's representative-only weak quotient) would have
+    slipped through.  These assertions fix that gap: every expected
+    interactive move and cumulative rate between blocks is spelled out.
+    """
+
+    def test_strong_quotient_structure_on_diamond(self):
+        result = minimize_strong(symmetric_pair())
+        quotient = result.quotient
+        # State order both_up, a_down, b_down, both_down: the two single-down
+        # states merge, first-occurrence numbering gives up=0, down-pair=1,
+        # both_down=2.
+        assert result.block_of_state == (0, 1, 1, 2)
+        assert quotient.num_states == 3
+        assert interactive_structure(quotient) == [[], [], []]
+        assert markovian_structure(quotient) == [
+            {1: pytest.approx(1.0)},  # 0.5 + 0.5 into the merged class
+            {2: pytest.approx(0.5)},
+            {},
+        ]
+        assert quotient.label_of(2) == frozenset({"down"})
+
+    def tau_machine(self):
+        """``entry --tau--> serve --x!--> wait --1.0--> entry`` plus a second
+        tau-predecessor ``entry2`` of ``serve``: the tau-abstracting modes
+        merge {entry, entry2, serve}; strong keeps all four states."""
+        builder = IOIMCBuilder(
+            "tau_machine", Signature.create(outputs={"x"}, internals={"tau"})
+        )
+        builder.state("entry", initial=True)
+        builder.interactive("entry", "tau", "serve")
+        builder.state("entry2")
+        builder.interactive("entry2", "tau", "serve")
+        builder.interactive("serve", "x", "wait")
+        builder.markovian("wait", 1.0, "entry")
+        return builder.build()
+
+    @pytest.mark.parametrize("minimize", [minimize_weak, minimize_branching])
+    def test_abstracting_quotient_structure_on_tau_machine(self, minimize):
+        result = minimize(self.tau_machine())
+        quotient = result.quotient
+        # {entry, entry2, serve} collapse (inert taus dropped), wait stays.
+        assert result.block_of_state == (0, 0, 0, 1)
+        assert quotient.num_states == 2
+        assert interactive_structure(quotient) == [[("x", 1)], []]
+        assert markovian_structure(quotient) == [{}, {0: pytest.approx(1.0)}]
+
+    def test_strong_quotient_structure_on_tau_machine(self):
+        result = minimize_strong(self.tau_machine())
+        quotient = result.quotient
+        # Strong bisimulation merges only the two tau-predecessors (state
+        # order entry, serve, entry2, wait) and keeps the tau edge itself.
+        assert result.block_of_state == (0, 1, 0, 2)
+        assert quotient.num_states == 3
+        assert interactive_structure(quotient) == [[("tau", 1)], [("x", 2)], []]
+        assert markovian_structure(quotient) == [{}, {}, {0: pytest.approx(1.0)}]
+
+    @pytest.mark.parametrize("minimize", [minimize_weak, minimize_branching])
+    def test_abstracting_modes_collapse_repair_loop_wiring(self, minimize):
+        """A repair loop with hidden signals collapses to its 2-state shape:
+        one up-class with the failure rate, one down-class with the repair
+        rate, no interactive moves left.  (Strong bisimulation cannot merge
+        the tau-announcing intermediate states — asserted alongside.)"""
+        machine = IOIMCBuilder("m", Signature.create(outputs={"f", "r"}))
+        machine.state("up", initial=True)
+        machine.markovian("up", 0.05, "pf")
+        machine.interactive("pf", "f", "down")
+        machine.label("pf", "down")
+        machine.label("down", "down")
+        machine.markovian("down", 1.0, "pr")
+        machine.interactive("pr", "r", "up")
+        automaton = maximal_progress_cut(hide(machine.build(), {"f", "r"}))
+        assert minimize_strong(automaton).quotient.num_states == 4
+        result = minimize(automaton)
+        quotient = result.quotient
+        # State order up, pf, down, pr: the zero-time announcement states
+        # join the tangible state they lead to.
+        assert result.block_of_state == (0, 1, 1, 0)
+        assert quotient.num_states == 2
+        assert interactive_structure(quotient) == [[], []]
+        assert markovian_structure(quotient) == [
+            {1: pytest.approx(0.05)},
+            {0: pytest.approx(1.0)},
+        ]
+        assert quotient.label_of(1) == frozenset({"down"})
+        assert quotient.label_of(0) == frozenset()
 
 
 def reference_strong_partition(automaton):
