@@ -15,7 +15,21 @@ paper's branching-bisimulation reduction is available as
 trajectory as the default strong mode on this model, pinned in
 ``tests/test_golden_regression.py``) and with the flat SAN-style GSPN
 baseline.
+
+Run as a script, the module sweeps the parametric DDS growth curve
+(clusters x reduction mode x composition-order policy) and writes the
+results as JSON for the CI artifact (see ``main`` below)::
+
+    python benchmarks/bench_dds_statespace.py [dds-growth-curve.json]
 """
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # script mode without an installed package / PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import pytest
 
@@ -102,3 +116,108 @@ def test_flat_composition_explodes(benchmark):
         "(budget 150,000) — compositional aggregation is what makes the analysis feasible."
     )
     assert result.exceeded_budget
+
+
+# --------------------------------------------------------------------------- #
+# growth-curve sweep (script mode; CI uploads the JSON as `dds-growth-curve`)
+# --------------------------------------------------------------------------- #
+#: Cluster counts of the parametric growth curve (6 = the paper's instance).
+GROWTH_CLUSTERS = (1, 2, 4, 6)
+#: Every bisimulation variant, head-to-head on every instance.
+GROWTH_REDUCTIONS = ("strong", "weak", "branching")
+#: Composition-order policies compared per instance.
+GROWTH_ORDERS = ("greedy", "auto")
+#: The greedy heuristic's intermediates explode with the cluster count
+#: (125k states / ~13s at one cluster, minutes at two, >15 min at six), so
+#: the sweep only runs it up to this size and records the larger instances
+#: as skipped — which is itself the datapoint.
+GREEDY_MAX_CLUSTERS = 1
+
+
+def growth_curve_sweep(
+    clusters=GROWTH_CLUSTERS,
+    reductions=GROWTH_REDUCTIONS,
+    orders=GROWTH_ORDERS,
+    *,
+    greedy_max_clusters: int = GREEDY_MAX_CLUSTERS,
+) -> list[dict]:
+    """One pipeline run per (clusters, reduction, order) grid point."""
+    import time
+
+    rows: list[dict] = []
+    for num_clusters in clusters:
+        parameters = DDSParameters(num_clusters=num_clusters)
+        for reduction in reductions:
+            for order in orders:
+                row = {
+                    "clusters": num_clusters,
+                    "reduction": reduction,
+                    "order": order,
+                }
+                if order == "greedy" and num_clusters > greedy_max_clusters:
+                    row["skipped"] = (
+                        f"greedy intermediates explode beyond "
+                        f"{greedy_max_clusters} cluster(s)"
+                    )
+                    rows.append(row)
+                    continue
+                started = time.perf_counter()
+                evaluator = build_dds_evaluator(
+                    parameters, reduction=reduction, order=order
+                )
+                availability = evaluator.availability()
+                elapsed = time.perf_counter() - started
+                statistics = evaluator.composed.statistics
+                row.update(
+                    {
+                        "availability": availability,
+                        "ctmc_states": evaluator.ctmc.num_states,
+                        "ctmc_transitions": evaluator.ctmc.num_transitions,
+                        "peak_intermediate_states": (
+                            statistics.largest_intermediate_states
+                        ),
+                        "composition_steps": len(statistics.steps),
+                        "compose_seconds": round(
+                            statistics.total_compose_seconds, 4
+                        ),
+                        "reduce_seconds": round(statistics.total_reduce_seconds, 4),
+                        "wall_clock_seconds": round(elapsed, 4),
+                    }
+                )
+                report = evaluator.composed.plan_report
+                if report is not None:
+                    row["plan_seconds"] = round(report.wall_clock_seconds, 4)
+                    row["plan_predicted_peak"] = report.predicted_peak_states
+                rows.append(row)
+                print(
+                    f"clusters={num_clusters} {reduction:9s} {order:6s} "
+                    f"peak {row['peak_intermediate_states']:>8,d}  "
+                    f"wall {row['wall_clock_seconds']:>7.2f}s"
+                )
+    return rows
+
+
+def main() -> None:
+    """Write the growth-curve sweep as JSON (CI artifact ``dds-growth-curve``)."""
+    import json
+    import platform
+
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("dds-growth-curve.json")
+    rows = growth_curve_sweep()
+    output.write_text(
+        json.dumps(
+            {
+                "benchmark": "dds_growth_curve",
+                "python": platform.python_version(),
+                "greedy_max_clusters": GREEDY_MAX_CLUSTERS,
+                "rows": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

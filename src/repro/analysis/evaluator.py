@@ -54,19 +54,24 @@ class ArcadeEvaluator:
     equivalence CADP's minimisation uses in the paper's tool chain),
     ``"weak"`` or ``"none"`` — and is forwarded to
     :class:`repro.composer.Composer` together with the reduction-policy
-    knobs (``reduce_every_n``, ``adaptive_reduction_states``).
+    knobs (``reduce_every_n``, ``adaptive_reduction_states``).  ``order``
+    accepts an explicit nested order, ``None`` for the greedy heuristic, or
+    ``"auto"`` for the cost-model-guided planner (``plan_budget`` /
+    ``plan_seed`` tune its search; see :mod:`repro.planner`).
     """
 
     def __init__(
         self,
         model: ArcadeModel,
         *,
-        order: CompositionOrder | None = None,
+        order: CompositionOrder | str | None = None,
         reduction: str = "strong",
         max_gate_width: int = 2,
         lump_final_ctmc: bool = True,
         reduce_every_n: int = 1,
         adaptive_reduction_states: int | None = None,
+        plan_budget: int | None = None,
+        plan_seed: int = 0,
     ) -> None:
         self.model = model
         self.order = order
@@ -75,6 +80,10 @@ class ArcadeEvaluator:
         self.lump_final_ctmc = lump_final_ctmc
         self.reduce_every_n = reduce_every_n
         self.adaptive_reduction_states = adaptive_reduction_states
+        #: Search budget / RNG seed forwarded to the planner when
+        #: ``order="auto"`` (``None`` budget = the planner's default).
+        self.plan_budget = plan_budget
+        self.plan_seed = plan_seed
         self._translated: TranslatedModel | None = None
         self._composed: ComposedSystem | None = None
         self._composed_no_repair: ComposedSystem | None = None
@@ -102,6 +111,8 @@ class ArcadeEvaluator:
                 lump_final_ctmc=self.lump_final_ctmc,
                 reduce_every_n=self.reduce_every_n,
                 adaptive_reduction_states=self.adaptive_reduction_states,
+                plan_budget=self.plan_budget,
+                plan_seed=self.plan_seed,
             )
         return self._composed
 
@@ -116,9 +127,11 @@ class ArcadeEvaluator:
         if self._composed_no_repair is None:
             stripped = self.model.without_repair()
             translated = translate_model(stripped, max_gate_width=self.max_gate_width)
-            order = None
-            if self.order is not None:
-                order = _filter_order(self.order, set(translated.blocks))
+            order = self.order
+            if order is not None and not isinstance(order, str):
+                # Explicit orders lose the blocks that no longer exist;
+                # "auto" passes through and re-plans on the stripped model.
+                order = _filter_order(order, set(translated.blocks))
             self._composed_no_repair = compose_model(
                 translated,
                 order=order,
@@ -126,6 +139,8 @@ class ArcadeEvaluator:
                 lump_final_ctmc=self.lump_final_ctmc,
                 reduce_every_n=self.reduce_every_n,
                 adaptive_reduction_states=self.adaptive_reduction_states,
+                plan_budget=self.plan_budget,
+                plan_seed=self.plan_seed,
             )
         return self._composed_no_repair
 

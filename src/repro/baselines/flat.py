@@ -8,6 +8,13 @@ in a fixed order with **no intermediate reduction and no early hiding**, and
 the construction aborts with a :class:`FlatCompositionBudgetExceeded` result
 once a state budget is exceeded (which is the expected outcome for anything
 but small models).
+
+The whole run stays on the CSR backend: the batched product keeps its flat
+arrays (int32 pair codes while both operands fit), ``hide_all_outputs`` only
+remaps the interned action column, and the closing
+:func:`~repro.ctmc.extract_ctmc` hands the final edge columns straight to
+:meth:`repro.ctmc.CTMC.from_arrays` — no stage materialises Python
+transition rows.
 """
 
 from __future__ import annotations

@@ -37,6 +37,7 @@ from ..arcade.expressions import And, Expression, Literal, Or
 from ..arcade.semantics import TranslatedModel
 from ..composer import CompositionOrder, hierarchical_order
 from ..distributions import Exponential
+from .orders import ORDER_CHOICES, validate_order_choice
 
 #: Failure rate of processors and disk controllers (per hour).
 PROCESSOR_FAILURE_RATE = 1.0 / 2000.0
@@ -194,13 +195,25 @@ def dds_composition_order(
 
 
 def build_dds_evaluator(
-    parameters: DDSParameters | None = None, *, reduction: str = "strong"
+    parameters: DDSParameters | None = None,
+    *,
+    reduction: str = "strong",
+    order: str = "hierarchical",
 ) -> ArcadeEvaluator:
-    """Evaluator for the full compositional-aggregation pipeline on the DDS."""
+    """Evaluator for the full compositional-aggregation pipeline on the DDS.
+
+    ``order`` selects the composition-order policy: ``"hierarchical"`` (the
+    paper's subsystem decomposition, default), ``"greedy"`` (the composer's
+    signal-closing heuristic) or ``"auto"`` (the planner of
+    :mod:`repro.planner`).
+    """
+    validate_order_choice(order)
     model = build_dds_model(parameters)
     evaluator = ArcadeEvaluator(model, reduction=reduction)
-    evaluator_order = dds_composition_order(evaluator.translated, parameters)
-    evaluator.order = evaluator_order
+    if order == "hierarchical":
+        evaluator.order = dds_composition_order(evaluator.translated, parameters)
+    elif order == "auto":
+        evaluator.order = "auto"
     return evaluator
 
 
@@ -320,16 +333,27 @@ def main(argv: list[str] | None = None) -> None:
         default=DDSParameters().num_clusters,
         help="number of disk clusters (paper: 6); scales the model",
     )
+    parser.add_argument(
+        "--order",
+        choices=ORDER_CHOICES,
+        default="hierarchical",
+        help="composition-order policy: the paper's hierarchical decomposition, "
+        "the greedy signal-closing heuristic, or the cost-model-guided planner",
+    )
     args = parser.parse_args(argv)
 
     parameters = DDSParameters(num_clusters=args.clusters)
     started = time.perf_counter()
-    evaluator = build_dds_evaluator(parameters, reduction=args.reduction)
+    evaluator = build_dds_evaluator(
+        parameters, reduction=args.reduction, order=args.order
+    )
     availability = evaluator.availability()
     reliability = evaluator.reliability(MISSION_TIME_HOURS)
     elapsed = time.perf_counter() - started
     statistics = evaluator.composed.statistics
-    print(f"DDS ({args.clusters} clusters), reduction={args.reduction}")
+    print(f"DDS ({args.clusters} clusters), reduction={args.reduction}, order={args.order}")
+    if evaluator.composed.plan_report is not None:
+        print(f"  {evaluator.composed.plan_report.summary()}")
     print(
         f"  final CTMC: {evaluator.ctmc.num_states} states / "
         f"{evaluator.ctmc.num_transitions} transitions"
@@ -355,6 +379,7 @@ __all__ = [
     "DDSParameters",
     "DISK_FAILURE_RATE",
     "MISSION_TIME_HOURS",
+    "ORDER_CHOICES",
     "PROCESSOR_FAILURE_RATE",
     "REPAIR_RATE",
     "build_dds_evaluator",

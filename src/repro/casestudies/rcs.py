@@ -50,6 +50,7 @@ from ..arcade.operational_modes import degradation_group
 from ..arcade.semantics import TranslatedModel
 from ..composer import CompositionOrder, hierarchical_order
 from ..distributions import Erlang, Exponential
+from .orders import ORDER_CHOICES, validate_order_choice
 
 #: Phase rate of the Erlang-2 pump failure distribution (per hour).
 PUMP_PHASE_RATE = 5.44e-6
@@ -300,9 +301,19 @@ def build_heat_exchange_evaluator(
 
 
 def build_rcs_modular_evaluator(
-    parameters: RCSParameters | None = None, *, reduction: str = "strong"
+    parameters: RCSParameters | None = None,
+    *,
+    reduction: str = "strong",
+    order: str = "hierarchical",
 ) -> ModularEvaluator:
-    """Modular evaluator of the full RCS (the paper's Section 5.2.2 analysis)."""
+    """Modular evaluator of the full RCS (the paper's Section 5.2.2 analysis).
+
+    ``order`` selects the composition-order policy applied to both subsystem
+    evaluators: ``"hierarchical"`` (the paper's decomposition, default),
+    ``"greedy"`` (the composer's signal-closing heuristic) or ``"auto"``
+    (the planner of :mod:`repro.planner`).
+    """
+    validate_order_choice(order)
     p = parameters or RCSParameters()
     subsystems = {
         "pumps": build_pump_subsystem(p),
@@ -311,13 +322,17 @@ def build_rcs_modular_evaluator(
     orders: dict[str, CompositionOrder] = {}
     system_down = Or([Literal("pumps", None), Literal("heat_exchange", None)])
     evaluator = ModularEvaluator(subsystems, system_down, orders=orders, reduction=reduction)
-    evaluator.evaluators["pumps"].order = subsystem_order(
-        evaluator.evaluators["pumps"].translated, pump_subsystem_groups(p)
-    )
-    evaluator.evaluators["heat_exchange"].order = subsystem_order(
-        evaluator.evaluators["heat_exchange"].translated,
-        heat_exchange_subsystem_groups(p),
-    )
+    if order == "hierarchical":
+        evaluator.evaluators["pumps"].order = subsystem_order(
+            evaluator.evaluators["pumps"].translated, pump_subsystem_groups(p)
+        )
+        evaluator.evaluators["heat_exchange"].order = subsystem_order(
+            evaluator.evaluators["heat_exchange"].translated,
+            heat_exchange_subsystem_groups(p),
+        )
+    elif order == "auto":
+        evaluator.evaluators["pumps"].order = "auto"
+        evaluator.evaluators["heat_exchange"].order = "auto"
     return evaluator
 
 
@@ -341,10 +356,17 @@ def main(argv: list[str] | None = None) -> None:
         default="strong",
         help="bisimulation variant applied between composition steps",
     )
+    parser.add_argument(
+        "--order",
+        choices=ORDER_CHOICES,
+        default="hierarchical",
+        help="composition-order policy: the paper's hierarchical decomposition, "
+        "the greedy signal-closing heuristic, or the cost-model-guided planner",
+    )
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
-    modular = build_rcs_modular_evaluator(reduction=args.reduction)
+    modular = build_rcs_modular_evaluator(reduction=args.reduction, order=args.order)
     pumps = modular.evaluators["pumps"]
     heat = modular.evaluators["heat_exchange"]
     unavailability_50h = 1.0 - (
@@ -353,7 +375,11 @@ def main(argv: list[str] | None = None) -> None:
     )
     unreliability_50h = modular.unreliability(MISSION_TIME_HOURS)
     elapsed = time.perf_counter() - started
-    print(f"RCS (modular), reduction={args.reduction}")
+    print(f"RCS (modular), reduction={args.reduction}, order={args.order}")
+    for name in ("pumps", "heat_exchange"):
+        report = modular.evaluators[name].composed.plan_report
+        if report is not None:
+            print(f"  {name}: {report.summary()}")
     print(
         f"  pump subsystem CTMC: {pumps.ctmc.num_states} states / "
         f"{pumps.ctmc.num_transitions} transitions, "
@@ -378,6 +404,7 @@ __all__ = [
     "FILTER_FAILURE_RATE",
     "HEAT_EXCHANGER_FAILURE_RATE",
     "MISSION_TIME_HOURS",
+    "ORDER_CHOICES",
     "PUMP_PHASE_RATE",
     "PUMP_REPAIR_PHASE_RATE",
     "RCSParameters",

@@ -9,7 +9,7 @@ from .composer import (
     Composer,
     compose_model,
 )
-from .ordering import hierarchical_order
+from .ordering import GateScheduler, flatten_order, hierarchical_order
 
 __all__ = [
     "REDUCTION_MODES",
@@ -18,6 +18,8 @@ __all__ = [
     "CompositionStatistics",
     "CompositionStep",
     "Composer",
+    "GateScheduler",
     "compose_model",
+    "flatten_order",
     "hierarchical_order",
 ]

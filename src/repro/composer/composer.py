@@ -12,15 +12,17 @@ model, per-step sizes) reproduce the numbers reported in Sections 5.1.2 and
 
 The composition order is given by the user as a (possibly nested) list of
 block names — nested groups are composed and reduced first, mirroring the
-hierarchical subsystem structure of the case studies — or derived by a
-simple greedy heuristic when no order is supplied.
+hierarchical subsystem structure of the case studies — derived by a simple
+greedy heuristic when no order is supplied, or searched automatically by
+the cost-model-guided planner of :mod:`repro.planner` with
+``order="auto"``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..ctmc import CTMC, extract_ctmc, lump
 from ..errors import CompositionError
@@ -33,6 +35,9 @@ from ..lumping import (
     minimize_weak,
 )
 from ..arcade.semantics import TranslatedModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner uses composer)
+    from ..planner import PlanReport
 
 #: Composition orders are nested sequences of block names.
 CompositionOrder = Sequence["str | CompositionOrder"]
@@ -122,6 +127,8 @@ class ComposedSystem:
     ioimc: IOIMC
     ctmc: CTMC
     statistics: CompositionStatistics
+    #: Search report of the order planner; only set for ``order="auto"`` runs.
+    plan_report: "PlanReport | None" = None
 
     @property
     def ctmc_summary(self) -> dict[str, int]:
@@ -140,7 +147,11 @@ class Composer:
         Composition order as a (possibly nested) sequence of block names;
         nested groups are composed and reduced first, mirroring the
         hierarchical subsystem structure of the case studies.  ``None``
-        falls back to the greedy heuristic of :meth:`default_order`.
+        falls back to the greedy heuristic of :meth:`default_order`; the
+        string ``"auto"`` invokes the cost-model-guided order search of
+        :func:`repro.planner.plan_order` (the resulting
+        :class:`~repro.planner.PlanReport` is exposed as
+        :attr:`plan_report` and on the returned :class:`ComposedSystem`).
     reduction:
         Bisimulation variant applied to every intermediate model:
         ``"strong"`` (default; always sound, preserves every measure),
@@ -171,12 +182,14 @@ class Composer:
         self,
         translated: TranslatedModel,
         *,
-        order: CompositionOrder | None = None,
+        order: CompositionOrder | str | None = None,
         reduction: str = "strong",
         eliminate_vanishing: bool = True,
         lump_final_ctmc: bool = True,
         reduce_every_n: int = 1,
         adaptive_reduction_states: int | None = None,
+        plan_budget: int | None = None,
+        plan_seed: int = 0,
     ) -> None:
         if reduction not in REDUCTION_MODES:
             raise CompositionError(
@@ -186,8 +199,20 @@ class Composer:
             raise CompositionError(
                 f"reduce_every_n must be >= 1, got {reduce_every_n}"
             )
+        if isinstance(order, str) and order != "auto":
+            raise CompositionError(
+                f"unknown order {order!r} (pass an explicit nested order, "
+                'None for the greedy heuristic, or "auto" for the planner)'
+            )
         self.translated = translated
         self.order = order
+        #: Search budget / RNG seed forwarded to the planner for
+        #: ``order="auto"`` (``None`` budget = the planner's default).
+        self.plan_budget = plan_budget
+        self.plan_seed = plan_seed
+        #: The planner's :class:`~repro.planner.PlanReport` of the last
+        #: ``order="auto"`` run (``None`` otherwise).
+        self.plan_report: "PlanReport | None" = None
         self.reduction = reduction
         self.eliminate_vanishing = eliminate_vanishing
         self.lump_final_ctmc = lump_final_ctmc
@@ -209,13 +234,16 @@ class Composer:
     # ------------------------------------------------------------------ #
     def compose(self) -> ComposedSystem:
         """Run the full pipeline: compose, hide, reduce, extract the CTMC."""
-        order = self.order if self.order is not None else self.default_order()
+        # Fresh report per run: only an "auto" resolution below re-sets it, so
+        # a re-run with a different order must not carry the old plan along.
+        self.plan_report = None
+        order = self._resolve_order()
         self._composed_blocks = set()
         self._steps_since_reduction = 0
         # Fresh statistics per run: compose() is re-runnable and must not
         # accumulate steps/timings across invocations.
         self.statistics = CompositionStatistics()
-        system = self._compose_group(order)
+        system, _ = self._compose_group(order)
         missing = set(self.translated.blocks) - self._composed_blocks
         if missing:
             raise CompositionError(
@@ -229,7 +257,26 @@ class Composer:
         ctmc = extract_ctmc(system)
         if self.lump_final_ctmc:
             ctmc = lump(ctmc).quotient
-        return ComposedSystem(ioimc=system, ctmc=ctmc, statistics=self.statistics)
+        return ComposedSystem(
+            ioimc=system,
+            ctmc=ctmc,
+            statistics=self.statistics,
+            plan_report=self.plan_report,
+        )
+
+    def _resolve_order(self) -> CompositionOrder:
+        """The order to compose in: explicit, planned (``"auto"``) or greedy."""
+        if self.order is None:
+            return self.default_order()
+        if isinstance(self.order, str):  # validated to be "auto" in __init__
+            from ..planner import plan_order  # late import: planner uses composer
+
+            keywords = {} if self.plan_budget is None else {"budget": self.plan_budget}
+            order, self.plan_report = plan_order(
+                self.translated, seed=self.plan_seed, **keywords
+            )
+            return order
+        return self.order
 
     def default_order(self) -> CompositionOrder:
         """Greedy composition order: prefer steps that close open signals.
@@ -272,8 +319,18 @@ class Composer:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    def _compose_group(self, group: CompositionOrder | str) -> IOIMC:
-        """Recursively compose a (nested) group of blocks."""
+    def _compose_group(
+        self, group: CompositionOrder | str
+    ) -> tuple[IOIMC, frozenset[str]]:
+        """Recursively compose a (nested) group of blocks.
+
+        Returns the composite together with the set of block names it
+        contains: hiding decisions must be taken against the blocks of *this*
+        composite, not against everything composed so far — a nested group is
+        built separately from the accumulated chain, and hiding one of its
+        signals because a listener exists in the (not-yet-joined) accumulated
+        composite would silence the synchronisation forever.
+        """
         if isinstance(group, str):
             block = self.translated.blocks.get(group)
             if block is None:
@@ -281,18 +338,19 @@ class Composer:
             if group in self._composed_blocks:
                 raise CompositionError(f"block {group!r} appears twice in the composition order")
             self._composed_blocks.add(group)
-            return block
+            return block, frozenset((group,))
         members = list(group)
         if not members:
             raise CompositionError("empty group in composition order")
-        composite = self._compose_group(members[0])
+        composite, blocks = self._compose_group(members[0])
         for member in members[1:]:
-            block = self._compose_group(member)
+            block, member_blocks = self._compose_group(member)
+            blocks |= member_blocks
             description = f"{composite.name} || {block.name}"
             compose_started = time.perf_counter()
             composite = compose(composite, block, name=description)
             before = composite.summary()
-            composite, hidden_actions = self._hide_closed_signals(composite)
+            composite, hidden_actions = self._hide_closed_signals(composite, blocks)
             compose_seconds = time.perf_counter() - compose_started
             should_reduce = self._should_reduce(before["states"])
             reduce_seconds = 0.0
@@ -322,7 +380,7 @@ class Composer:
             composite = composite.renamed(
                 f"composite[{len(self._composed_blocks)} blocks]"
             )
-        return composite
+        return composite, blocks
 
     def _should_reduce(self, states_before: int) -> bool:
         """Apply the reduction policy to the current step.
@@ -339,12 +397,20 @@ class Composer:
         threshold = self.adaptive_reduction_states
         return threshold is not None and states_before > threshold
 
-    def _hide_closed_signals(self, composite: IOIMC) -> tuple[IOIMC, list[str]]:
-        """Hide every output whose listeners have all been composed in."""
+    def _hide_closed_signals(
+        self, composite: IOIMC, blocks: frozenset[str]
+    ) -> tuple[IOIMC, list[str]]:
+        """Hide every output whose listeners are all part of ``composite``.
+
+        ``blocks`` are the block names making up ``composite``.  For a plain
+        left-deep order this is everything composed so far; inside a nested
+        group it is only the group's own blocks, so a signal whose listener
+        lives in the accumulated composite stays open until the join.
+        """
         hidable = []
         for action in sorted(composite.signature.outputs):
             listeners = self.translated.listeners_of(action)
-            if listeners <= self._composed_blocks:
+            if listeners <= blocks:
                 hidable.append(action)
         if not hidable:
             return composite, []
@@ -368,19 +434,23 @@ class Composer:
 def compose_model(
     translated: TranslatedModel,
     *,
-    order: CompositionOrder | None = None,
+    order: CompositionOrder | str | None = None,
     reduction: str = "strong",
     eliminate_vanishing: bool = True,
     lump_final_ctmc: bool = True,
     reduce_every_n: int = 1,
     adaptive_reduction_states: int | None = None,
+    plan_budget: int | None = None,
+    plan_seed: int = 0,
 ) -> ComposedSystem:
     """One-call wrapper around :class:`Composer`.
 
     Accepts the same keyword arguments (see the :class:`Composer` docstring
     for the reduction policy — ``reduction``, ``reduce_every_n``,
-    ``adaptive_reduction_states``) and returns the fully composed
-    :class:`ComposedSystem` with its I/O-IMC, CTMC and per-step statistics.
+    ``adaptive_reduction_states`` — and the order planner —
+    ``order="auto"``, ``plan_budget``, ``plan_seed``) and returns the fully
+    composed :class:`ComposedSystem` with its I/O-IMC, CTMC and per-step
+    statistics.
     """
     composer = Composer(
         translated,
@@ -390,6 +460,8 @@ def compose_model(
         lump_final_ctmc=lump_final_ctmc,
         reduce_every_n=reduce_every_n,
         adaptive_reduction_states=adaptive_reduction_states,
+        plan_budget=plan_budget,
+        plan_seed=plan_seed,
     )
     return composer.compose()
 

@@ -2,26 +2,118 @@
 
 "The order in which the I/O-IMC models are composed is given by the user"
 (Section 4 of the paper) — and choosing it well is what makes compositional
-aggregation effective.  This module turns a *subsystem decomposition* (an
-ordered list of groups of basic blocks, e.g. "the processors", "controller
-set 1", "disk cluster 3", ...) into a full nested composition order:
+aggregation effective.  This module provides
 
-* the blocks of each group are composed together first,
-* every fault-tree gate is scheduled at the earliest point of the chain at
-  which all of the blocks it (transitively) observes have been composed, so
-  its signals can be hidden immediately, and
-* the groups are chained left-deep, so that each step adds one small
-  subsystem to the accumulated composite instead of multiplying two large
-  halves.
+* :class:`GateScheduler` — the *earliest-hiding* gate placement rule: every
+  fault-tree gate is scheduled at the earliest point of a composition chain
+  at which all of the non-gate blocks it (transitively) observes have been
+  composed, so its signals can be hidden immediately.  The rule is shared by
+  :func:`hierarchical_order` and the automated order search of
+  :mod:`repro.planner`.
+* :func:`hierarchical_order` — turns a *subsystem decomposition* (an ordered
+  list of groups of basic blocks, e.g. "the processors", "controller set 1",
+  "disk cluster 3", ...) into a full nested composition order: the blocks of
+  each group are composed together first, gates are placed by the
+  earliest-hiding rule, and the groups are chained left-deep, so that each
+  step adds one small subsystem to the accumulated composite instead of
+  multiplying two large halves.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from ..arcade.semantics import TranslatedModel
 from ..errors import CompositionError
 from .composer import CompositionOrder
+
+
+class GateScheduler:
+    """Earliest-hiding placement of fault-tree gates in a composition order.
+
+    A gate observes a set of *leaf* blocks — the non-gate emitters of the
+    signals it (transitively, through other gates) listens to.  The gate can
+    be composed, and its own output immediately hidden, as soon as all of its
+    leaves are part of the accumulated composite; composing it any later
+    keeps its inputs unconstrained and its signals open.  This class answers
+    the two questions both the hierarchical order builder and the planner's
+    order search ask: *which leaves does this gate observe* and *which gates
+    become schedulable once a given leaf set is composed*.
+    """
+
+    def __init__(self, translated: TranslatedModel) -> None:
+        self.translated = translated
+        blocks = translated.blocks
+        self.gate_names = frozenset(translated.gates)
+        self.non_gate_blocks = [
+            name for name in blocks if name not in self.gate_names
+        ]
+        #: For every output signal, the block that emits it.
+        self.emitter_of: dict[str, str] = {}
+        for name, block in blocks.items():
+            for action in block.signature.outputs:
+                self.emitter_of[action] = name
+        self._leaves: dict[str, frozenset[str]] = {}
+
+    def direct_dependencies(self, gate: str) -> set[str]:
+        """Blocks (gates included) emitting the signals ``gate`` listens to."""
+        return {
+            self.emitter_of[action]
+            for action in self.translated.blocks[gate].signature.inputs
+            if action in self.emitter_of
+        }
+
+    def ordered_dependencies(self, gate: str) -> list[str]:
+        """Like :meth:`direct_dependencies`, in the gate's *input order*.
+
+        The translator compiles the fault tree into voting gates whose input
+        tuples preserve the source expression's child order; walking them in
+        that order (instead of the unordered signature) reproduces the
+        tree's construction sequence, which is what the planner's gate-tree
+        seed needs.  Falls back to sorted dependencies for gates without a
+        recorded :class:`~repro.arcade.semantics.gate_semantics.VotingGate`.
+        """
+        voting = self.translated.gates.get(gate) if self.translated.gates else None
+        if voting is None:
+            return sorted(self.direct_dependencies(gate))
+        ordered: list[str] = []
+        for gate_input in voting.inputs:
+            for signal in gate_input.set_signals:
+                source = self.emitter_of.get(signal)
+                if source is not None and source not in ordered:
+                    ordered.append(source)
+        return ordered
+
+    def leaves_of(self, gate: str, _trail: tuple[str, ...] = ()) -> frozenset[str]:
+        """Non-gate blocks ``gate`` transitively observes."""
+        cached = self._leaves.get(gate)
+        if cached is not None:
+            return cached
+        if gate in _trail:
+            raise CompositionError(f"cyclic gate dependency through {gate!r}")
+        leaves: set[str] = set()
+        for dependency in self.direct_dependencies(gate):
+            if dependency in self.gate_names:
+                leaves |= self.leaves_of(dependency, _trail + (gate,))
+            else:
+                leaves.add(dependency)
+        frozen = frozenset(leaves)
+        self._leaves[gate] = frozen
+        return frozen
+
+    def ready_gates(
+        self, unassigned: Iterable[str], covered_leaves: set[str] | frozenset[str]
+    ) -> list[str]:
+        """Gates of ``unassigned`` whose leaves are all in ``covered_leaves``.
+
+        Returned smallest-leaf-set first (ties broken by name) — the order in
+        which they should be composed, so that a gate observing another
+        gate's output is placed after it.
+        """
+        return sorted(
+            (gate for gate in unassigned if self.leaves_of(gate) <= covered_leaves),
+            key=lambda gate: (len(self.leaves_of(gate)), gate),
+        )
 
 
 def hierarchical_order(
@@ -40,8 +132,8 @@ def hierarchical_order(
         translator are inserted automatically.
     """
     blocks = translated.blocks
-    gate_names = set(translated.gates)
-    non_gate_blocks = [name for name in blocks if name not in gate_names]
+    scheduler = GateScheduler(translated)
+    gate_names = scheduler.gate_names
 
     covered: set[str] = set()
     for group in leaf_groups:
@@ -55,39 +147,11 @@ def hierarchical_order(
             if name in covered:
                 raise CompositionError(f"block {name!r} appears in two subsystems")
             covered.add(name)
-    missing = set(non_gate_blocks) - covered
+    missing = set(scheduler.non_gate_blocks) - covered
     if missing:
         raise CompositionError(
             f"subsystem decomposition does not cover block(s) {sorted(missing)}"
         )
-
-    emitter_of: dict[str, str] = {}
-    for name, block in blocks.items():
-        for action in block.signature.outputs:
-            emitter_of[action] = name
-
-    def direct_dependencies(gate: str) -> set[str]:
-        return {
-            emitter_of[action]
-            for action in blocks[gate].signature.inputs
-            if action in emitter_of
-        }
-
-    leaf_dependencies: dict[str, set[str]] = {}
-
-    def leaves_of(gate: str, trail: tuple[str, ...] = ()) -> set[str]:
-        if gate in leaf_dependencies:
-            return leaf_dependencies[gate]
-        if gate in trail:
-            raise CompositionError(f"cyclic gate dependency through {gate!r}")
-        leaves: set[str] = set()
-        for dependency in direct_dependencies(gate):
-            if dependency in gate_names:
-                leaves |= leaves_of(dependency, trail + (gate,))
-            else:
-                leaves.add(dependency)
-        leaf_dependencies[gate] = leaves
-        return leaves
 
     # Every gate is scheduled at the earliest point at which all the blocks it
     # observes (transitively) have been composed.  Gates whose leaves all lie
@@ -101,15 +165,9 @@ def hierarchical_order(
     for group in leaf_groups:
         group_set = set(group)
         cumulative |= group_set
-        inner_gates = sorted(
-            (gate for gate in unassigned if leaves_of(gate) <= group_set),
-            key=lambda gate: (len(leaves_of(gate)), gate),
-        )
+        inner_gates = scheduler.ready_gates(unassigned, group_set)
         unassigned -= set(inner_gates)
-        join_gates = sorted(
-            (gate for gate in unassigned if leaves_of(gate) <= cumulative),
-            key=lambda gate: (len(leaves_of(gate)), gate),
-        )
+        join_gates = scheduler.ready_gates(unassigned, cumulative)
         unassigned -= set(join_gates)
         subgroup: list = list(group) + inner_gates
         if order is None:
@@ -125,4 +183,14 @@ def hierarchical_order(
     return order
 
 
-__all__ = ["hierarchical_order"]
+def flatten_order(order: CompositionOrder | str) -> list[str]:
+    """The block names of a (possibly nested) order, in composition sequence."""
+    if isinstance(order, str):
+        return [order]
+    flat: list[str] = []
+    for entry in order:
+        flat.extend(flatten_order(entry))
+    return flat
+
+
+__all__ = ["GateScheduler", "flatten_order", "hierarchical_order"]

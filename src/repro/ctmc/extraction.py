@@ -17,14 +17,24 @@ are taken in zero time, so the model is equivalent to a CTMC over its
    any (time-based) measure.  In Arcade models the system-failure condition
    can never hold *only* during a vanishing instant (repairs take positive
    time), so no failure information is lost.
+
+The conversion runs on the CSR tables of the automaton's
+:class:`~repro.ioimc.indexed.TransitionIndex`: tangibility is the index's
+stability bit, the Markovian edges whose target is already tangible — the
+vast majority after reduction — are renumbered wholesale, and only edges
+into *vanishing* targets walk the tau-resolution (memoised per target).  The
+resulting edge columns feed :meth:`repro.ctmc.CTMC.from_arrays`, so no
+Python per-transition loop is left between the final I/O-IMC and the chain.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import NondeterminismError
 from ..ioimc import IOIMC
-from ..ioimc.actions import ActionKind
 from ..lumping.reductions import maximal_progress_cut
+from ..nputil import csr_indptr
 from .ctmc import CTMC
 
 
@@ -41,8 +51,7 @@ def extract_ctmc(automaton: IOIMC, *, on_nondeterminism: str = "error") -> CTMC:
     on_nondeterminism:
         ``"error"`` (default) raises :class:`NondeterminismError` when a
         vanishing state can reach two different tangible states via internal
-        moves; ``"uniform"`` resolves the choice uniformly at random instead
-        (and is reported in the CTMC's construction notes).
+        moves; ``"uniform"`` resolves the choice uniformly at random instead.
     """
     if automaton.signature.inputs:
         raise NondeterminismError(
@@ -50,18 +59,24 @@ def extract_ctmc(automaton: IOIMC, *, on_nondeterminism: str = "error") -> CTMC:
             f"{sorted(automaton.signature.inputs)}; it is not a closed system"
         )
     automaton = maximal_progress_cut(automaton)
+    index = automaton.index()
+    interactive_csr = index.interactive_csr
+    markovian_csr = index.markovian_csr()
 
-    urgent_successors: list[list[int]] = [[] for _ in automaton.states()]
-    for state in automaton.states():
-        for action, target in automaton.interactive[state]:
-            kind = automaton.signature.kind_of(action)
-            if kind is ActionKind.INPUT:
-                continue
-            urgent_successors[state].append(target)
-    tangible = [state for state in automaton.states() if not urgent_successors[state]]
-    tangible_index = {state: position for position, state in enumerate(tangible)}
+    # With no inputs left every interactive transition is urgent, so the
+    # tangible states are exactly the index's stable ones.
+    tangible_flags = index.stable_flags
+    tangible = np.flatnonzero(tangible_flags)
+    tangible_of = np.full(automaton.num_states, -1, dtype=np.int64)
+    tangible_of[tangible] = np.arange(len(tangible), dtype=np.int64)
 
-    # Resolve every state to the distribution over tangible states reached by
+    # Urgent successor CSR (sources are the vanishing states, by definition).
+    urgent = ~index.input_flags[interactive_csr.action]
+    urgent_source = interactive_csr.source[urgent]
+    urgent_target = interactive_csr.target[urgent]
+    urgent_indptr = csr_indptr(urgent_source, automaton.num_states)
+
+    # Resolve a state to the distribution over tangible states reached by
     # exhausting urgent transitions.  With confluence this is a single state.
     resolution: dict[int, dict[int, float]] = {}
 
@@ -70,10 +85,12 @@ def extract_ctmc(automaton: IOIMC, *, on_nondeterminism: str = "error") -> CTMC:
         if cached is not None:
             return cached
         resolution[state] = {}  # guard against tau-cycles
-        if not urgent_successors[state]:
+        if tangible_flags[state]:
             result = {state: 1.0}
         else:
-            targets = urgent_successors[state]
+            targets = urgent_target[
+                urgent_indptr[state] : urgent_indptr[state + 1]
+            ].tolist()
             combined: dict[int, float] = {}
             per_branch = 1.0 / len(targets)
             reachable_tangibles: set[int] = set()
@@ -95,30 +112,64 @@ def extract_ctmc(automaton: IOIMC, *, on_nondeterminism: str = "error") -> CTMC:
         resolution[state] = result
         return result
 
-    transitions: list[tuple[int, float, int]] = []
-    for state in tangible:
-        source = tangible_index[state]
-        for rate, target in automaton.markovian[state]:
-            for tangible_target, weight in resolve(target).items():
-                transitions.append((source, rate * weight, tangible_index[tangible_target]))
+    # Markovian sources are all tangible (maximal progress cut above); edges
+    # whose target is tangible too — the common case — map wholesale.  Edges
+    # into vanishing targets go through the (memoised) tau-resolution; each
+    # unique vanishing target resolves once.
+    edge_source = tangible_of[markovian_csr.source]
+    edge_rate = markovian_csr.rate
+    edge_target = tangible_of[markovian_csr.target]
+    vanishing_edges = np.flatnonzero(edge_target < 0)
+    if len(vanishing_edges):
+        confluent_of = np.full(automaton.num_states, -1, dtype=np.int64)
+        branching: dict[int, dict[int, float]] = {}
+        for state in np.unique(markovian_csr.target[vanishing_edges]).tolist():
+            resolved = resolve(state)
+            if len(resolved) == 1:
+                confluent_of[state] = tangible_of[next(iter(resolved))]
+            else:
+                branching[state] = resolved
+        if not branching:
+            edge_target = np.where(
+                edge_target >= 0, edge_target, confluent_of[markovian_csr.target]
+            )
+        else:
+            # Rare (only reachable with on_nondeterminism="uniform"): expand
+            # the affected edges in place so the edge order — and hence the
+            # bit-exact rate accumulation — is preserved.
+            sources, rates, targets = [], [], []
+            for position in range(len(edge_source)):
+                target = int(markovian_csr.target[position])
+                if edge_target[position] >= 0:
+                    sources.append(int(edge_source[position]))
+                    rates.append(float(edge_rate[position]))
+                    targets.append(int(edge_target[position]))
+                    continue
+                for tangible_state, weight in resolve(target).items():
+                    sources.append(int(edge_source[position]))
+                    rates.append(float(edge_rate[position]) * weight)
+                    targets.append(int(tangible_of[tangible_state]))
+            edge_source = np.array(sources, dtype=np.int64)
+            edge_rate = np.array(rates, dtype=np.float64)
+            edge_target = np.array(targets, dtype=np.int64)
 
     initial_resolution = resolve(automaton.initial)
     if len(initial_resolution) == 1:
-        initial: int | list[float] = tangible_index[next(iter(initial_resolution))]
+        initial: int | list[float] = int(tangible_of[next(iter(initial_resolution))])
     else:
         vector = [0.0] * len(tangible)
         for tangible_state, weight in initial_resolution.items():
-            vector[tangible_index[tangible_state]] = weight
+            vector[int(tangible_of[tangible_state])] = weight
         initial = vector
 
     labels = {}
-    for state in tangible:
-        props = automaton.label_of(state)
-        if props:
-            labels[tangible_index[state]] = frozenset(props)
-    names = [automaton.state_name(state) for state in tangible]
-    ctmc = CTMC(len(tangible), transitions, initial, labels, names)
-    return ctmc
+    for state, props in automaton.labels.items():
+        if tangible_flags[state] and props:
+            labels[int(tangible_of[state])] = frozenset(props)
+    names = [automaton.state_name(state) for state in tangible.tolist()]
+    return CTMC.from_arrays(
+        len(tangible), edge_source, edge_rate, edge_target, initial, labels, names
+    )
 
 
 __all__ = ["extract_ctmc"]

@@ -111,6 +111,13 @@ def _product_tables_batched(
     shared = left.signature.visible & right.signature.visible
     width = right.num_states
 
+    # Pair codes are int32 when the full code space fits — halves the memory
+    # traffic of the np.unique/searchsorted dedupe that dominates large
+    # products.  All code arithmetic below stays within `code_span`, so the
+    # narrow dtype cannot overflow.
+    code_span = left.num_states * width
+    code_dtype = np.int32 if code_span <= np.iinfo(np.int32).max else np.int64
+
     # A shared interned action space for both operands.
     action_names = sorted(left.signature.all_actions | right.signature.all_actions)
     action_id = {act: aid for aid, act in enumerate(action_names)}
@@ -119,12 +126,12 @@ def _product_tables_batched(
     for act in shared:
         shared_flags[action_id[act]] = True
 
-    left_free, left_sync = _split_component_edges(left, action_id, shared_flags)
-    right_free, right_sync = _split_component_edges(right, action_id, shared_flags)
+    left_free, left_sync = _split_component_edges(left, action_id, shared_flags, code_dtype)
+    right_free, right_sync = _split_component_edges(right, action_id, shared_flags, code_dtype)
     left_markov = left.index().markovian_csr()
     right_markov = right.index().markovian_csr()
 
-    initial = np.array([left.initial * width + right.initial], dtype=np.int64)
+    initial = np.array([left.initial * width + right.initial], dtype=code_dtype)
     known_codes = initial.copy()  # sorted pair codes
     known_ids = np.zeros(1, dtype=np.int64)  # composite state id per known code
     pair_of_state = [int(initial[0])]
@@ -152,7 +159,7 @@ def _product_tables_batched(
             batch = np.repeat(
                 np.arange(len(own), dtype=np.int64), free.row_counts(own)
             )
-            target = free.target[picked].astype(np.int64)
+            target = free.target[picked]
             move_src.append(frontier_ids[batch])
             move_act.append(free.action[picked].astype(np.int64))
             if is_left:
@@ -185,7 +192,7 @@ def _product_tables_batched(
                 continue
             counts = markov.indptr[own + 1] - markov.indptr[own]
             batch = np.repeat(np.arange(len(own), dtype=np.int64), counts)
-            target = markov.target[picked].astype(np.int64)
+            target = markov.target[picked].astype(code_dtype, copy=False)
             rate_src.append(frontier_ids[batch])
             rate_val.append(markov.rate[picked])
             if is_left:
@@ -201,16 +208,19 @@ def _product_tables_batched(
                 np.concatenate(move_act),
                 np.concatenate(move_code),
                 num_actions,
-                width * left.num_states,
+                code_span,
             )
+            code = code.astype(code_dtype, copy=False)
         else:
-            src = act = code = np.empty(0, dtype=np.int64)
+            src = act = np.empty(0, dtype=np.int64)
+            code = np.empty(0, dtype=code_dtype)
         if rate_src:
             msrc = np.concatenate(rate_src)
             mval = np.concatenate(rate_val)
             mcode = np.concatenate(rate_code)
         else:
-            msrc = mcode = np.empty(0, dtype=np.int64)
+            msrc = np.empty(0, dtype=np.int64)
+            mcode = np.empty(0, dtype=code_dtype)
             mval = np.empty(0, dtype=np.float64)
 
         # Register newly reached pair codes; they form the next BFS level.
@@ -247,7 +257,8 @@ class _ComponentEdges:
     """One operand's interactive edges (one shared/non-shared family).
 
     ``indptr`` offsets rows by component state; ``action`` carries ids of the
-    composition-wide action space.
+    composition-wide action space; ``target`` is pre-cast to the product's
+    pair-code dtype so the code arithmetic stays narrow.
     """
 
     __slots__ = ("indptr", "action", "target")
@@ -263,7 +274,10 @@ class _ComponentEdges:
 
 
 def _split_component_edges(
-    automaton: IOIMC, action_id: dict[str, int], shared_flags: np.ndarray
+    automaton: IOIMC,
+    action_id: dict[str, int],
+    shared_flags: np.ndarray,
+    code_dtype: type,
 ) -> tuple[_ComponentEdges, _ComponentEdges]:
     """Split an operand's interactive CSR into non-shared and shared families."""
     csr = automaton.index().interactive_csr
@@ -278,7 +292,7 @@ def _split_component_edges(
                 automaton.num_states,
                 csr.source[mask],
                 action[mask],
-                csr.target[mask].astype(np.int64),
+                csr.target[mask].astype(code_dtype, copy=False),
             )
         )
     return families[0], families[1]

@@ -243,3 +243,35 @@ def test_steady_state_is_probability_vector(data):
     distribution = steady_state_distribution(chain)
     assert abs(distribution.sum() - 1.0) < 1e-8
     assert (distribution >= -1e-12).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.floats(min_value=0.01, max_value=5.0),
+            st.integers(min_value=0, max_value=5),
+        ),
+        min_size=0,
+        max_size=30,
+    )
+)
+def test_from_arrays_matches_loop_constructor(data):
+    """CTMC.from_arrays is bit-identical to the triple-loop constructor.
+
+    Same pair interning order (first occurrence), same rate accumulation
+    order (edge order), same self-loop dropping — pinned because
+    extract_ctmc now builds every chain through the array path.
+    """
+    loop_built = CTMC(6, list(data), labels={1: frozenset({"down"})})
+    array_built = CTMC.from_arrays(
+        6,
+        np.array([s for s, _, _ in data], dtype=np.int64),
+        np.array([r for _, r, _ in data], dtype=np.float64),
+        np.array([t for _, _, t in data], dtype=np.int64),
+        labels={1: frozenset({"down"})},
+    )
+    assert list(array_built._rates.items()) == list(loop_built._rates.items())
+    assert array_built.labels == loop_built.labels
+    assert (array_built.initial_distribution == loop_built.initial_distribution).all()
