@@ -127,6 +127,11 @@ GROWTH_CLUSTERS = (1, 2, 4, 6)
 GROWTH_REDUCTIONS = ("strong", "weak", "branching")
 #: Composition-order policies compared per instance.
 GROWTH_ORDERS = ("greedy", "auto")
+#: Quotient-cache settings compared per instance.  The "on" runs *share*
+#: one cache per (reduction, order) across the whole cluster sweep: the
+#: clusters added at each size are isomorphic to the ones already cached,
+#: so the savings grow super-linearly along the curve.
+GROWTH_CACHES = ("off", "on")
 #: The greedy heuristic's intermediates explode with the cluster count
 #: (125k states / ~13s at one cluster, minutes at two, >15 min at six), so
 #: the sweep only runs it up to this size and records the larger instances
@@ -134,76 +139,171 @@ GROWTH_ORDERS = ("greedy", "auto")
 GREEDY_MAX_CLUSTERS = 1
 
 
+def _run_point(parameters, reduction, order, cache, row):
+    """One pipeline run; extends ``row`` with its measurements."""
+    import time
+
+    started = time.perf_counter()
+    evaluator = build_dds_evaluator(
+        parameters, reduction=reduction, order=order, cache=cache
+    )
+    availability = evaluator.availability()
+    elapsed = time.perf_counter() - started
+    statistics = evaluator.composed.statistics
+    row.update(
+        {
+            "availability": availability,
+            "ctmc_states": evaluator.ctmc.num_states,
+            "ctmc_transitions": evaluator.ctmc.num_transitions,
+            "peak_intermediate_states": statistics.largest_intermediate_states,
+            "composition_steps": len(statistics.steps),
+            "compose_seconds": round(statistics.total_compose_seconds, 4),
+            "reduce_seconds": round(statistics.total_reduce_seconds, 4),
+            "wall_clock_seconds": round(elapsed, 4),
+        }
+    )
+    if evaluator.cache is not None:
+        row["cache_hits"] = statistics.cache_hits
+        row["cache_saved_seconds"] = round(statistics.cache_saved_seconds, 4)
+        row["cache_summary"] = evaluator.cache.summary()
+    report = evaluator.composed.plan_report
+    if report is not None:
+        row["plan_seconds"] = round(report.wall_clock_seconds, 4)
+        row["plan_predicted_peak"] = report.predicted_peak_states
+    return row
+
+
 def growth_curve_sweep(
     clusters=GROWTH_CLUSTERS,
     reductions=GROWTH_REDUCTIONS,
     orders=GROWTH_ORDERS,
+    caches=GROWTH_CACHES,
     *,
     greedy_max_clusters: int = GREEDY_MAX_CLUSTERS,
 ) -> list[dict]:
-    """One pipeline run per (clusters, reduction, order) grid point."""
-    import time
+    """One pipeline run per (clusters, reduction, order, cache) grid point."""
+    from repro.composer import QuotientCache
 
     rows: list[dict] = []
+    shared_caches: dict[tuple, QuotientCache] = {}
     for num_clusters in clusters:
         parameters = DDSParameters(num_clusters=num_clusters)
         for reduction in reductions:
             for order in orders:
-                row = {
-                    "clusters": num_clusters,
-                    "reduction": reduction,
-                    "order": order,
-                }
-                if order == "greedy" and num_clusters > greedy_max_clusters:
-                    row["skipped"] = (
-                        f"greedy intermediates explode beyond "
-                        f"{greedy_max_clusters} cluster(s)"
-                    )
-                    rows.append(row)
-                    continue
-                started = time.perf_counter()
-                evaluator = build_dds_evaluator(
-                    parameters, reduction=reduction, order=order
-                )
-                availability = evaluator.availability()
-                elapsed = time.perf_counter() - started
-                statistics = evaluator.composed.statistics
-                row.update(
-                    {
-                        "availability": availability,
-                        "ctmc_states": evaluator.ctmc.num_states,
-                        "ctmc_transitions": evaluator.ctmc.num_transitions,
-                        "peak_intermediate_states": (
-                            statistics.largest_intermediate_states
-                        ),
-                        "composition_steps": len(statistics.steps),
-                        "compose_seconds": round(
-                            statistics.total_compose_seconds, 4
-                        ),
-                        "reduce_seconds": round(statistics.total_reduce_seconds, 4),
-                        "wall_clock_seconds": round(elapsed, 4),
+                for cache_setting in caches:
+                    row = {
+                        "clusters": num_clusters,
+                        "reduction": reduction,
+                        "order": order,
+                        "cache": cache_setting,
                     }
-                )
-                report = evaluator.composed.plan_report
-                if report is not None:
-                    row["plan_seconds"] = round(report.wall_clock_seconds, 4)
-                    row["plan_predicted_peak"] = report.predicted_peak_states
-                rows.append(row)
-                print(
-                    f"clusters={num_clusters} {reduction:9s} {order:6s} "
-                    f"peak {row['peak_intermediate_states']:>8,d}  "
-                    f"wall {row['wall_clock_seconds']:>7.2f}s"
-                )
+                    if order == "greedy" and num_clusters > greedy_max_clusters:
+                        row["skipped"] = (
+                            f"greedy intermediates explode beyond "
+                            f"{greedy_max_clusters} cluster(s)"
+                        )
+                        rows.append(row)
+                        continue
+                    if cache_setting == "on":
+                        cache = shared_caches.setdefault(
+                            (reduction, order), QuotientCache()
+                        )
+                    else:
+                        cache = "off"
+                    _run_point(parameters, reduction, order, cache, row)
+                    rows.append(row)
+                    hits = row.get("cache_hits")
+                    print(
+                        f"clusters={num_clusters} {reduction:9s} {order:6s} "
+                        f"cache={cache_setting:3s} "
+                        f"peak {row['peak_intermediate_states']:>8,d}  "
+                        f"wall {row['wall_clock_seconds']:>7.2f}s"
+                        + (f"  hits {hits}" if hits is not None else "")
+                    )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# disks-per-cluster sweep: the axis where the replicated subtrees dominate
+# --------------------------------------------------------------------------- #
+#: Disks-per-cluster values of the disk-growth sweep (4 = the paper).
+DISK_GROWTH_DISKS = (4, 6, 8)
+#: Cluster count of the disk-growth sweep (2 keeps the uncached 8-disk run
+#: CI-sized while still containing a replicated cluster pair).
+DISK_GROWTH_CLUSTERS = 2
+#: State budget of the flat-baseline comparison runs.
+DISK_GROWTH_FLAT_BUDGET = 150_000
+
+
+def disk_growth_sweep(
+    disks=DISK_GROWTH_DISKS,
+    *,
+    num_clusters: int = DISK_GROWTH_CLUSTERS,
+    flat_budget: int = DISK_GROWTH_FLAT_BUDGET,
+) -> list[dict]:
+    """Cache on/off (strong mode) plus flat baseline along the disk axis.
+
+    Growing the disks per cluster grows the replicated per-cluster subtrees
+    — the work the quotient cache removes — so the cache-on/cache-off gap
+    widens super-linearly along this axis while the flat baseline exhausts
+    any state budget almost immediately.
+    """
+    import time
+
+    rows: list[dict] = []
+    for disks_per_cluster in disks:
+        parameters = DDSParameters(
+            num_clusters=num_clusters, disks_per_cluster=disks_per_cluster
+        )
+        row: dict = {
+            "clusters": num_clusters,
+            "disks_per_cluster": disks_per_cluster,
+            "reduction": "strong",
+        }
+        flat_started = time.perf_counter()
+        flat = flat_compose(
+            translate_model(build_dds_model(parameters)),
+            max_states=flat_budget,
+            build_ctmc=False,
+        )
+        row["flat_baseline"] = {
+            "states": flat.states,
+            "blocks_composed": flat.blocks_composed,
+            "total_blocks": flat.total_blocks,
+            "exceeded_budget": flat.exceeded_budget,
+            "budget": flat_budget,
+            "wall_clock_seconds": round(time.perf_counter() - flat_started, 4),
+        }
+        for cache_setting in ("off", "on"):
+            measured: dict = {}
+            _run_point(parameters, "strong", "hierarchical", cache_setting, measured)
+            row[f"cache_{cache_setting}"] = measured
+        off_seconds = row["cache_off"]["compose_seconds"] + row["cache_off"]["reduce_seconds"]
+        on_seconds = row["cache_on"]["compose_seconds"] + row["cache_on"]["reduce_seconds"]
+        row["compose_reduce_speedup"] = (
+            round(off_seconds / on_seconds, 3) if on_seconds else None
+        )
+        row["bit_identical_availability"] = (
+            row["cache_off"]["availability"] == row["cache_on"]["availability"]
+        )
+        rows.append(row)
+        print(
+            f"disks={disks_per_cluster} peak {row['cache_off']['peak_intermediate_states']:>9,d}  "
+            f"off {off_seconds:7.2f}s  on {on_seconds:7.2f}s  "
+            f"speedup {row['compose_reduce_speedup']}x  "
+            f"flat: {'exceeded budget' if flat.exceeded_budget else flat.states}"
+        )
     return rows
 
 
 def main() -> None:
-    """Write the growth-curve sweep as JSON (CI artifact ``dds-growth-curve``)."""
+    """Write the growth sweeps as JSON (CI artifact ``dds-growth-curve``)."""
     import json
     import platform
 
     output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("dds-growth-curve.json")
     rows = growth_curve_sweep()
+    disk_rows = disk_growth_sweep()
     output.write_text(
         json.dumps(
             {
@@ -211,6 +311,7 @@ def main() -> None:
                 "python": platform.python_version(),
                 "greedy_max_clusters": GREEDY_MAX_CLUSTERS,
                 "rows": rows,
+                "disk_growth_rows": disk_rows,
             },
             indent=2,
         )

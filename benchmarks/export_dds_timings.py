@@ -7,10 +7,24 @@ where the wall-clock went: the compose phase (parallel products + hiding)
 versus the reduce phase (maximal-progress cut, vanishing-chain elimination,
 bisimulation minimisation), plus per-step sizes.  The top-level fields keep
 the historical strong-mode layout so the artifact stays comparable across
-PRs; the ``reductions`` map carries the head-to-head comparison.  CI uploads
-the file as the ``dds-phase-timings`` artifact so the perf trajectory of the
-two hot paths — and the relative cost of the three reduction modes — is
-tracked across PRs (see ``.github/workflows/ci.yml``).
+PRs; the ``reductions`` map carries the head-to-head comparison.
+
+Two further sections close the PR-5 loops:
+
+* ``cache`` — the isomorphism-aware quotient cache raced against the
+  uncached pipeline, on the paper instance (hit-rate dominated: the
+  replicated subtrees are cheap at 4 disks per cluster) and on a disk-heavy
+  instance where the replicated subtrees dominate and the cache cuts the
+  compose+reduce wall-clock by >=2x, with hit-rate and time-saved summaries
+  per run.
+* a ``cost-parameters-dds.json`` side file — damping factors of the
+  planner's cost model re-fitted from the recorded strong-mode statistics
+  (:meth:`repro.planner.CostModel.calibrated`), for
+  ``plan_order(parameters=...)`` / ``Composer(plan_parameters=...)`` to
+  load instead of the built-in defaults.
+
+CI uploads the files as the ``dds-phase-timings`` artifact (see
+``.github/workflows/ci.yml``).
 
 Run with::
 
@@ -35,18 +49,24 @@ import time
 #: head-to-head on the same DDS model.
 REDUCTIONS = ("strong", "weak", "branching")
 
+#: Disk-heavy instance for the cache race: the per-cluster subtrees grow to
+#: ~1.2M pre-reduction states, so the replicated work the cache removes
+#: dominates the pipeline; at 3 clusters two of the three subtrees are
+#: cache-served (uncached: ~40s, still CI-sized).
+CACHE_HEAVY_INSTANCE = {"num_clusters": 3, "disks_per_cluster": 8}
 
-def run_one(reduction: str) -> dict:
+
+def run_one(reduction: str, *, parameters=None, cache: str = "off") -> dict:
     from repro.casestudies.dds import MISSION_TIME_HOURS, build_dds_evaluator
 
     started = time.perf_counter()
-    evaluator = build_dds_evaluator(reduction=reduction)
+    evaluator = build_dds_evaluator(parameters, reduction=reduction, cache=cache)
     availability = evaluator.availability()
     reliability = evaluator.reliability(MISSION_TIME_HOURS)
     wall_clock = time.perf_counter() - started
 
     statistics = evaluator.composed.statistics
-    return {
+    result = {
         "measures": {
             "availability": availability,
             "reliability_5_weeks": reliability,
@@ -68,9 +88,49 @@ def run_one(reduction: str) -> dict:
         },
         "steps": statistics.as_table(),
     }
+    if evaluator.cache is not None:
+        result["cache"] = evaluator.cache.summary()
+    return result
+
+
+def race_cache(parameters=None) -> dict:
+    """Strong-mode pipeline with the quotient cache off vs on."""
+    disabled = run_one("strong", parameters=parameters, cache="off")
+    enabled = run_one("strong", parameters=parameters, cache="on")
+    off_seconds = disabled["phases"]["total_pipeline_seconds"]
+    on_seconds = enabled["phases"]["total_pipeline_seconds"]
+    return {
+        "bit_identical_measures": disabled["measures"] == enabled["measures"],
+        "speedup": round(off_seconds / on_seconds, 3) if on_seconds else None,
+        "disabled": {key: value for key, value in disabled.items() if key != "steps"},
+        "enabled": {key: value for key, value in enabled.items() if key != "steps"},
+    }
+
+
+def fit_cost_parameters(output_dir: Path) -> Path:
+    """Re-fit the planner's damping factors from a recorded strong run."""
+    from repro.casestudies.dds import build_dds_evaluator
+    from repro.planner import CostModel, save_cost_parameters
+
+    evaluator = build_dds_evaluator()
+    evaluator.availability()
+    model = CostModel(evaluator.translated)
+    calibrated = model.calibrated(
+        evaluator.composed.statistics, order=evaluator.order
+    )
+    path = output_dir / "cost-parameters-dds.json"
+    save_cost_parameters(
+        path,
+        calibrated.parameters,
+        family="dds",
+        source="export_dds_timings (strong, hierarchical)",
+    )
+    return path
 
 
 def collect_timings() -> dict:
+    from repro.casestudies.dds import DDSParameters
+
     reductions = {reduction: run_one(reduction) for reduction in REDUCTIONS}
     strong = reductions["strong"]
     return {
@@ -86,6 +146,16 @@ def collect_timings() -> dict:
         "reductions": {
             name: {key: value for key, value in data.items() if key != "steps"}
             for name, data in reductions.items()
+        },
+        # The quotient cache raced on the paper instance (replication is
+        # cheap there — the interesting number is the hit rate) and on the
+        # disk-heavy instance (where the cache buys the >=2x).
+        "cache": {
+            "paper_instance": race_cache(),
+            "disk_heavy_instance": {
+                "parameters": dict(CACHE_HEAVY_INSTANCE),
+                **race_cache(DDSParameters(**CACHE_HEAVY_INSTANCE)),
+            },
         },
     }
 
@@ -103,7 +173,17 @@ def main() -> None:
             f"({space['composition_steps']} steps, "
             f"final CTMC {space['final_ctmc_states']} states)"
         )
-    print(f"wrote {output}")
+    for instance, race in timings["cache"].items():
+        enabled = race["enabled"] if "enabled" in race else race
+        summary = enabled.get("cache", {})
+        print(
+            f"cache {instance}: speedup {race.get('speedup')}x, "
+            f"hit rate {summary.get('hit_rate', 0):.0%}, "
+            f"saved {summary.get('saved_seconds', 0)}s, "
+            f"bit-identical: {race.get('bit_identical_measures')}"
+        )
+    parameters_path = fit_cost_parameters(output.parent)
+    print(f"wrote {output} and {parameters_path}")
 
 
 if __name__ == "__main__":

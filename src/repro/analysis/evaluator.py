@@ -20,7 +20,13 @@ from typing import Sequence
 
 from ..arcade.model import ArcadeModel
 from ..arcade.semantics import TranslatedModel, translate_model
-from ..composer import ComposedSystem, CompositionOrder, compose_model
+from ..composer import (
+    ComposedSystem,
+    CompositionOrder,
+    QuotientCache,
+    compose_model,
+    resolve_cache,
+)
 from ..ctmc import (
     CTMC,
     mean_time_to_failure,
@@ -54,10 +60,16 @@ class ArcadeEvaluator:
     equivalence CADP's minimisation uses in the paper's tool chain),
     ``"weak"`` or ``"none"`` — and is forwarded to
     :class:`repro.composer.Composer` together with the reduction-policy
-    knobs (``reduce_every_n``, ``adaptive_reduction_states``).  ``order``
-    accepts an explicit nested order, ``None`` for the greedy heuristic, or
-    ``"auto"`` for the cost-model-guided planner (``plan_budget`` /
-    ``plan_seed`` tune its search; see :mod:`repro.planner`).
+    knobs (``reduce_policy``, ``reduce_every_n``,
+    ``adaptive_reduction_states``).  ``order`` accepts an explicit nested
+    order, ``None`` for the greedy heuristic, or ``"auto"`` for the
+    cost-model-guided planner (``plan_budget`` / ``plan_seed`` /
+    ``plan_parameters`` tune its search; see :mod:`repro.planner`).
+    ``cache`` enables the isomorphism-aware quotient cache
+    (:mod:`repro.composer.cache`): ``"on"`` resolves to a single
+    :class:`~repro.composer.QuotientCache` instance shared between the
+    repairable and the no-repair pipelines, so replicated subtrees are
+    composed once per evaluator, not once per measure.
     """
 
     def __init__(
@@ -68,22 +80,30 @@ class ArcadeEvaluator:
         reduction: str = "strong",
         max_gate_width: int = 2,
         lump_final_ctmc: bool = True,
+        cache: QuotientCache | str | None = None,
+        reduce_policy: str | None = None,
         reduce_every_n: int = 1,
         adaptive_reduction_states: int | None = None,
         plan_budget: int | None = None,
         plan_seed: int = 0,
+        plan_parameters=None,
     ) -> None:
         self.model = model
         self.order = order
         self.reduction = reduction
         self.max_gate_width = max_gate_width
         self.lump_final_ctmc = lump_final_ctmc
+        #: The resolved quotient cache, shared by every pipeline this
+        #: evaluator runs (``None`` when caching is off).
+        self.cache: QuotientCache | None = resolve_cache(cache)
+        self.reduce_policy = reduce_policy
         self.reduce_every_n = reduce_every_n
         self.adaptive_reduction_states = adaptive_reduction_states
         #: Search budget / RNG seed forwarded to the planner when
         #: ``order="auto"`` (``None`` budget = the planner's default).
         self.plan_budget = plan_budget
         self.plan_seed = plan_seed
+        self.plan_parameters = plan_parameters
         self._translated: TranslatedModel | None = None
         self._composed: ComposedSystem | None = None
         self._composed_no_repair: ComposedSystem | None = None
@@ -109,10 +129,13 @@ class ArcadeEvaluator:
                 order=self.order,
                 reduction=self.reduction,
                 lump_final_ctmc=self.lump_final_ctmc,
+                cache=self.cache,
+                reduce_policy=self.reduce_policy,
                 reduce_every_n=self.reduce_every_n,
                 adaptive_reduction_states=self.adaptive_reduction_states,
                 plan_budget=self.plan_budget,
                 plan_seed=self.plan_seed,
+                plan_parameters=self.plan_parameters,
             )
         return self._composed
 
@@ -137,10 +160,13 @@ class ArcadeEvaluator:
                 order=order,
                 reduction=self.reduction,
                 lump_final_ctmc=self.lump_final_ctmc,
+                cache=self.cache,
+                reduce_policy=self.reduce_policy,
                 reduce_every_n=self.reduce_every_n,
                 adaptive_reduction_states=self.adaptive_reduction_states,
                 plan_budget=self.plan_budget,
                 plan_seed=self.plan_seed,
+                plan_parameters=self.plan_parameters,
             )
         return self._composed_no_repair
 

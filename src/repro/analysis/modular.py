@@ -49,6 +49,7 @@ class ModularEvaluator:
         *,
         orders: dict[str, CompositionOrder] | None = None,
         reduction: str = "strong",
+        cache=None,
     ) -> None:
         if not subsystems:
             raise ModelError("a modular evaluation needs at least one subsystem")
@@ -56,6 +57,12 @@ class ModularEvaluator:
         self.system_down = system_down
         self.orders = dict(orders or {})
         self.reduction = reduction
+        from ..composer import resolve_cache
+
+        #: One quotient cache shared across every subsystem evaluator —
+        #: replicated structures recur *between* subsystems as well (the RCS
+        #: pump lines), so the sharing compounds (``None`` = caching off).
+        self.cache = resolve_cache(cache)
         self._check_independence()
         for literal in system_down.atoms():
             if literal.component not in self.subsystems:
@@ -65,7 +72,10 @@ class ModularEvaluator:
                 )
         self.evaluators = {
             name: ArcadeEvaluator(
-                model, order=self.orders.get(name), reduction=reduction
+                model,
+                order=self.orders.get(name),
+                reduction=reduction,
+                cache=self.cache,
             )
             for name, model in self.subsystems.items()
         }

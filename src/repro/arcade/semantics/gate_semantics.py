@@ -84,6 +84,21 @@ class GateTranslator:
 
     def __init__(self, gate: VotingGate):
         self.gate = gate
+        #: Input signals in the gate's *structural* order (per input: set
+        #: signals, then clear signals; duplicates dropped).  Exploring the
+        #: state space in this order — instead of sorted signal names —
+        #: makes the generated automaton's state numbering a function of the
+        #: gate's structure alone, so replicated gates (the per-cluster
+        #: voters of the DDS) are identical up to signal renaming, which is
+        #: what lets the quotient cache recognise them.
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for gate_input in gate.inputs:
+            for signal in gate_input.set_signals + gate_input.clear_signals:
+                if signal not in seen:
+                    seen.add(signal)
+                    ordered.append(signal)
+        self._ordered_inputs = tuple(ordered)
 
     def signature(self) -> Signature:
         inputs: set[str] = set()
@@ -135,7 +150,7 @@ class GateTranslator:
                     seen.add(target)
                     frontier.append(target)
 
-            for signal in sorted(signature.inputs):
+            for signal in self._ordered_inputs:
                 target = self.input_target(state, signal)
                 if target != state:
                     builder.interactive(source, signal, target.name())

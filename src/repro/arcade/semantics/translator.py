@@ -32,6 +32,9 @@ from .smu_semantics import build_spare_unit_ioimc
 #: Name of the top-level system gate created by the translator.
 SYSTEM_GATE_NAME = "_sys"
 
+#: Shared empty result of :meth:`TranslatedModel.listeners_of`.
+_NO_LISTENERS: frozenset[str] = frozenset()
+
 #: Atomic proposition carried by the system gate while its condition holds.
 DOWN_LABEL = "down"
 
@@ -44,18 +47,36 @@ class TranslatedModel:
     blocks: dict[str, IOIMC]
     top_gate: str
     gates: dict[str, VotingGate] = field(default_factory=dict)
+    #: Lazily built ``action -> listening blocks`` table (the blocks are
+    #: immutable after translation, so the memo can never go stale).
+    _listener_table: dict[str, frozenset[str]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def block_names(self) -> list[str]:
         """Names of all blocks (components, units and gates)."""
         return list(self.blocks)
 
-    def listeners_of(self, action: str) -> set[str]:
-        """Blocks that have ``action`` in their input signature."""
-        return {
-            name
-            for name, block in self.blocks.items()
-            if action in block.signature.inputs
-        }
+    def listeners_of(self, action: str) -> frozenset[str]:
+        """Blocks that have ``action`` in their input signature.
+
+        Answered from a memoised inverse table: the composer's hiding
+        schedule and the planner's greedy seed ask this per action per
+        step, which made the naive per-query sweep over every block the
+        single hottest path of order planning on large models.
+        """
+        table = self._listener_table
+        if table is None:
+            listeners: dict[str, set[str]] = {}
+            for name, block in self.blocks.items():
+                for action_name in block.signature.inputs:
+                    listeners.setdefault(action_name, set()).add(name)
+            table = {
+                action_name: frozenset(names)
+                for action_name, names in listeners.items()
+            }
+            self._listener_table = table
+        return table.get(action, _NO_LISTENERS)
 
     def summary(self) -> dict[str, dict[str, int]]:
         """Per-block size statistics (used in EXPERIMENTS.md)."""

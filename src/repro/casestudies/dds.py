@@ -199,17 +199,22 @@ def build_dds_evaluator(
     *,
     reduction: str = "strong",
     order: str = "hierarchical",
+    cache="off",
 ) -> ArcadeEvaluator:
     """Evaluator for the full compositional-aggregation pipeline on the DDS.
 
     ``order`` selects the composition-order policy: ``"hierarchical"`` (the
     paper's subsystem decomposition, default), ``"greedy"`` (the composer's
     signal-closing heuristic) or ``"auto"`` (the planner of
-    :mod:`repro.planner`).
+    :mod:`repro.planner`).  ``cache`` enables the isomorphism-aware
+    quotient cache (``"on"``/``"off"`` or a shared
+    :class:`~repro.composer.QuotientCache`): the six disk clusters are
+    isomorphic up to signal renaming, so with the cache each replicated
+    subtree is composed and minimised once.
     """
     validate_order_choice(order)
     model = build_dds_model(parameters)
-    evaluator = ArcadeEvaluator(model, reduction=reduction)
+    evaluator = ArcadeEvaluator(model, reduction=reduction, cache=cache)
     if order == "hierarchical":
         evaluator.order = dds_composition_order(evaluator.translated, parameters)
     elif order == "auto":
@@ -340,12 +345,27 @@ def main(argv: list[str] | None = None) -> None:
         help="composition-order policy: the paper's hierarchical decomposition, "
         "the greedy signal-closing heuristic, or the cost-model-guided planner",
     )
+    parser.add_argument(
+        "--cache",
+        choices=("on", "off"),
+        default="on",
+        help="isomorphism-aware quotient cache: compose each replicated "
+        "subtree (disk cluster, controller set) once and rebase the copies",
+    )
+    parser.add_argument(
+        "--disks-per-cluster",
+        type=int,
+        default=DDSParameters().disks_per_cluster,
+        help="disks per cluster (paper: 4); scales the replicated subtrees",
+    )
     args = parser.parse_args(argv)
 
-    parameters = DDSParameters(num_clusters=args.clusters)
+    parameters = DDSParameters(
+        num_clusters=args.clusters, disks_per_cluster=args.disks_per_cluster
+    )
     started = time.perf_counter()
     evaluator = build_dds_evaluator(
-        parameters, reduction=args.reduction, order=args.order
+        parameters, reduction=args.reduction, order=args.order, cache=args.cache
     )
     availability = evaluator.availability()
     reliability = evaluator.reliability(MISSION_TIME_HOURS)
@@ -354,6 +374,13 @@ def main(argv: list[str] | None = None) -> None:
     print(f"DDS ({args.clusters} clusters), reduction={args.reduction}, order={args.order}")
     if evaluator.composed.plan_report is not None:
         print(f"  {evaluator.composed.plan_report.summary()}")
+    if evaluator.cache is not None:
+        summary = evaluator.cache.summary()
+        print(
+            f"  cache: {summary['hits']} hits / {summary['misses']} misses "
+            f"(hit rate {summary['hit_rate']:.0%}), "
+            f"saved {summary['saved_seconds']:.2f}s"
+        )
     print(
         f"  final CTMC: {evaluator.ctmc.num_states} states / "
         f"{evaluator.ctmc.num_transitions} transitions"

@@ -305,13 +305,17 @@ def build_rcs_modular_evaluator(
     *,
     reduction: str = "strong",
     order: str = "hierarchical",
+    cache="off",
 ) -> ModularEvaluator:
     """Modular evaluator of the full RCS (the paper's Section 5.2.2 analysis).
 
     ``order`` selects the composition-order policy applied to both subsystem
     evaluators: ``"hierarchical"`` (the paper's decomposition, default),
     ``"greedy"`` (the composer's signal-closing heuristic) or ``"auto"``
-    (the planner of :mod:`repro.planner`).
+    (the planner of :mod:`repro.planner`).  ``cache`` (``"on"``/``"off"``
+    or a shared :class:`~repro.composer.QuotientCache`) enables the
+    isomorphism-aware quotient cache, shared across both subsystem
+    evaluators — the two pump lines are isomorphic up to signal renaming.
     """
     validate_order_choice(order)
     p = parameters or RCSParameters()
@@ -321,7 +325,9 @@ def build_rcs_modular_evaluator(
     }
     orders: dict[str, CompositionOrder] = {}
     system_down = Or([Literal("pumps", None), Literal("heat_exchange", None)])
-    evaluator = ModularEvaluator(subsystems, system_down, orders=orders, reduction=reduction)
+    evaluator = ModularEvaluator(
+        subsystems, system_down, orders=orders, reduction=reduction, cache=cache
+    )
     if order == "hierarchical":
         evaluator.evaluators["pumps"].order = subsystem_order(
             evaluator.evaluators["pumps"].translated, pump_subsystem_groups(p)
@@ -363,10 +369,19 @@ def main(argv: list[str] | None = None) -> None:
         help="composition-order policy: the paper's hierarchical decomposition, "
         "the greedy signal-closing heuristic, or the cost-model-guided planner",
     )
+    parser.add_argument(
+        "--cache",
+        choices=("on", "off"),
+        default="on",
+        help="isomorphism-aware quotient cache, shared across both subsystem "
+        "evaluators (the pump lines are isomorphic up to signal renaming)",
+    )
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
-    modular = build_rcs_modular_evaluator(reduction=args.reduction, order=args.order)
+    modular = build_rcs_modular_evaluator(
+        reduction=args.reduction, order=args.order, cache=args.cache
+    )
     pumps = modular.evaluators["pumps"]
     heat = modular.evaluators["heat_exchange"]
     unavailability_50h = 1.0 - (
@@ -380,6 +395,13 @@ def main(argv: list[str] | None = None) -> None:
         report = modular.evaluators[name].composed.plan_report
         if report is not None:
             print(f"  {name}: {report.summary()}")
+    if modular.cache is not None:
+        summary = modular.cache.summary()
+        print(
+            f"  cache: {summary['hits']} hits / {summary['misses']} misses "
+            f"(hit rate {summary['hit_rate']:.0%}), "
+            f"saved {summary['saved_seconds']:.2f}s"
+        )
     print(
         f"  pump subsystem CTMC: {pumps.ctmc.num_states} states / "
         f"{pumps.ctmc.num_transitions} transitions, "

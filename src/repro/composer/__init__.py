@@ -1,6 +1,8 @@
 """Compositional aggregation: composing and reducing the block I/O-IMCs."""
 
+from .cache import CacheEntry, QuotientCache, SubtreeFingerprint, resolve_cache
 from .composer import (
+    REDUCE_POLICIES,
     REDUCTION_MODES,
     ComposedSystem,
     CompositionOrder,
@@ -12,14 +14,19 @@ from .composer import (
 from .ordering import GateScheduler, flatten_order, hierarchical_order
 
 __all__ = [
+    "REDUCE_POLICIES",
     "REDUCTION_MODES",
+    "CacheEntry",
     "ComposedSystem",
     "CompositionOrder",
     "CompositionStatistics",
     "CompositionStep",
     "Composer",
     "GateScheduler",
+    "QuotientCache",
+    "SubtreeFingerprint",
     "compose_model",
     "flatten_order",
     "hierarchical_order",
+    "resolve_cache",
 ]

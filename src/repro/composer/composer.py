@@ -16,6 +16,13 @@ hierarchical subsystem structure of the case studies — derived by a simple
 greedy heuristic when no order is supplied, or searched automatically by
 the cost-model-guided planner of :mod:`repro.planner` with
 ``order="auto"``.
+
+With ``cache="on"`` (or a shared :class:`~repro.composer.cache.QuotientCache`
+instance) the composer additionally memoises every step under an
+isomorphism-aware key, so replicated subtrees — the DDS disk clusters, the
+RCS pump lines — are composed and minimised once and every further copy is
+rebased from the cache onto its concrete signal names (see
+:mod:`repro.composer.cache` and ``docs/caching.md``).
 """
 
 from __future__ import annotations
@@ -26,7 +33,8 @@ from typing import TYPE_CHECKING, Sequence
 
 from ..ctmc import CTMC, extract_ctmc, lump
 from ..errors import CompositionError
-from ..ioimc import IOIMC, compose, hide
+from ..ioimc import IOIMC, Signature, compose, hide
+from ..ioimc.canonical import rebase_actions
 from ..lumping import (
     eliminate_vanishing_chains,
     maximal_progress_cut,
@@ -35,15 +43,29 @@ from ..lumping import (
     minimize_weak,
 )
 from ..arcade.semantics import TranslatedModel
+from .cache import QuotientCache, SubtreeFingerprint, resolve_cache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner uses composer)
-    from ..planner import PlanReport
+    from ..planner import CostParameters, PlanReport
 
 #: Composition orders are nested sequences of block names.
 CompositionOrder = Sequence["str | CompositionOrder"]
 
 #: The bisimulation variants the reduction pipeline can apply between steps.
 REDUCTION_MODES = ("strong", "weak", "branching", "none")
+
+#: Reduction *scheduling* policies: reduce after every step (the paper's
+#: aggregation), on a fixed ``reduce_every_n`` cycle, or adaptively from the
+#: recorded shrinkage history.
+REDUCE_POLICIES = ("always", "every_n", "adaptive")
+
+#: Adaptive policy: how many recent reductions vote on the expected yield.
+_ADAPTIVE_WINDOW = 2
+#: Adaptive policy: minimum mean state shrinkage for reductions to keep paying.
+_ADAPTIVE_MIN_SHRINKAGE = 0.10
+#: Adaptive policy: probe with a real reduction after this many consecutive
+#: skips, so a temporarily unprofitable reduction schedule can recover.
+_ADAPTIVE_PROBE_EVERY = 4
 
 
 @dataclass(frozen=True)
@@ -59,6 +81,15 @@ class CompositionStep:
     compose_seconds: float = 0.0
     reduce_seconds: float = 0.0
     reduced: bool = True
+    #: Served from the quotient cache: the recorded sizes reproduce the
+    #: uncached trajectory, the timings are the (tiny) rebase cost.
+    cache_hit: bool = False
+    #: Wall-clock the original computation of a hit step cost (0 on misses).
+    saved_seconds: float = 0.0
+    #: Why the reduction pipeline was skipped (``None`` when it ran):
+    #: ``"schedule"`` for an off-cycle ``reduce_every_n`` step,
+    #: ``"adaptive-low-yield"`` for the adaptive policy's skip decision.
+    skip_reason: str | None = None
 
     @property
     def seconds(self) -> float:
@@ -103,6 +134,21 @@ class CompositionStatistics:
         """Total wall-clock time of composition plus reduction."""
         return self.total_compose_seconds + self.total_reduce_seconds
 
+    @property
+    def cache_hits(self) -> int:
+        """Steps served from the quotient cache."""
+        return sum(1 for step in self.steps if step.cache_hit)
+
+    @property
+    def cache_saved_seconds(self) -> float:
+        """Wall-clock the cache hits saved (sum of original step costs)."""
+        return sum(step.saved_seconds for step in self.steps if step.cache_hit)
+
+    @property
+    def reductions_skipped(self) -> int:
+        """Steps whose reduction the schedule or adaptive policy skipped."""
+        return sum(1 for step in self.steps if not step.reduced)
+
     def as_table(self) -> list[dict[str, object]]:
         """Rows suitable for printing in benchmarks and EXPERIMENTS.md."""
         return [
@@ -115,6 +161,8 @@ class CompositionStatistics:
                 "hidden": len(step.hidden_actions),
                 "compose_s": round(step.compose_seconds, 4),
                 "reduce_s": round(step.reduce_seconds, 4),
+                "cache_hit": step.cache_hit,
+                "skip_reason": step.skip_reason,
             }
             for step in self.steps
         ]
@@ -129,6 +177,8 @@ class ComposedSystem:
     statistics: CompositionStatistics
     #: Search report of the order planner; only set for ``order="auto"`` runs.
     plan_report: "PlanReport | None" = None
+    #: The quotient cache the run used (``None`` when caching was off).
+    cache: QuotientCache | None = None
 
     @property
     def ctmc_summary(self) -> dict[str, int]:
@@ -163,19 +213,42 @@ class Composer:
         (:func:`repro.lumping.eliminate_vanishing_chains`).
     lump_final_ctmc:
         Additionally lump the extracted CTMC modulo ordinary lumpability.
+    cache:
+        Isomorphism-aware memoisation policy: ``"on"`` (a fresh
+        :class:`~repro.composer.cache.QuotientCache`), ``"off"``/``None``
+        (default, no memoisation) or an existing cache instance to share
+        hits across several runs.  Replicated subtrees are composed and
+        reduced once; further copies are rebased from the cache via their
+        canonical renaming witness, reproducing the uncached pipeline's
+        results exactly (see ``docs/caching.md``).
+    reduce_policy:
+        Reduction *schedule*: ``"always"`` (default; the paper's
+        reduce-after-every-step aggregation), ``"every_n"`` (reduce on
+        every ``reduce_every_n``-th step only) or ``"adaptive"`` (skip
+        reductions while the recent reductions bought less than 10% state
+        shrinkage, probing again after a few skips; skip decisions are
+        recorded per step in :class:`CompositionStatistics`).  ``None``
+        derives the policy from ``reduce_every_n`` for backwards
+        compatibility: ``"every_n"`` when it exceeds 1, else ``"always"``.
     reduce_every_n:
-        Reduction *schedule*: run the reduction pipeline only on every n-th
-        composition step.  ``1`` (default) reduces after every step — the
-        paper's aggregation.  A sparser schedule trades larger intermediate
-        products for fewer minimisation passes, which pays off when the
-        blocks being merged share few actions; the per-step
+        Cycle length of the ``"every_n"`` policy.  ``1`` reduces after
+        every step.  A sparser schedule trades larger intermediate products
+        for fewer minimisation passes, which pays off when the blocks being
+        merged share few actions; the per-step
         ``compose_seconds``/``reduce_seconds`` recorded in
         :class:`CompositionStatistics` are the data to tune it with.
     adaptive_reduction_states:
-        Safety valve for sparse schedules: when set, an off-cycle step is
-        reduced anyway as soon as the intermediate product exceeds this many
-        states, so ``reduce_every_n > 1`` cannot let the state space
-        explode.  ``None`` (default) disables the override.
+        Safety valve for the sparse policies: when set, an off-cycle (or
+        adaptively skipped) step is reduced anyway as soon as the
+        intermediate product exceeds this many states, so skipping cannot
+        let the state space explode.  ``None`` (default) disables the
+        override.
+    plan_parameters:
+        Cost-model damping parameters for ``order="auto"``: a
+        :class:`~repro.planner.CostParameters` instance or a path to a JSON
+        file persisted by :func:`repro.planner.save_cost_parameters` (e.g.
+        the per-family files the benchmarks export).  ``None`` uses the
+        built-in DDS/RCS-fitted defaults.
     """
 
     def __init__(
@@ -186,10 +259,13 @@ class Composer:
         reduction: str = "strong",
         eliminate_vanishing: bool = True,
         lump_final_ctmc: bool = True,
+        cache: QuotientCache | str | None = None,
+        reduce_policy: str | None = None,
         reduce_every_n: int = 1,
         adaptive_reduction_states: int | None = None,
         plan_budget: int | None = None,
         plan_seed: int = 0,
+        plan_parameters: "CostParameters | str | None" = None,
     ) -> None:
         if reduction not in REDUCTION_MODES:
             raise CompositionError(
@@ -198,6 +274,13 @@ class Composer:
         if reduce_every_n < 1:
             raise CompositionError(
                 f"reduce_every_n must be >= 1, got {reduce_every_n}"
+            )
+        if reduce_policy is None:
+            reduce_policy = "every_n" if reduce_every_n > 1 else "always"
+        if reduce_policy not in REDUCE_POLICIES:
+            raise CompositionError(
+                f"unknown reduce_policy {reduce_policy!r} "
+                f"(expected one of {REDUCE_POLICIES})"
             )
         if isinstance(order, str) and order != "auto":
             raise CompositionError(
@@ -210,24 +293,30 @@ class Composer:
         #: ``order="auto"`` (``None`` budget = the planner's default).
         self.plan_budget = plan_budget
         self.plan_seed = plan_seed
+        self.plan_parameters = plan_parameters
         #: The planner's :class:`~repro.planner.PlanReport` of the last
         #: ``order="auto"`` run (``None`` otherwise).
         self.plan_report: "PlanReport | None" = None
         self.reduction = reduction
         self.eliminate_vanishing = eliminate_vanishing
         self.lump_final_ctmc = lump_final_ctmc
-        #: Reduce only every n-th composition step (1 = the paper's
-        #: reduce-after-every-step aggregation).  Skipping reductions trades
-        #: larger intermediate products for fewer minimisation passes, which
-        #: pays off when the blocks being merged share few actions.
+        #: The resolved quotient cache (``None`` when caching is off).  The
+        #: same instance survives re-runs of :meth:`compose`, so repeated
+        #: pipelines (availability + no-repair reliability, growth sweeps)
+        #: compound their hits.
+        self.cache: QuotientCache | None = resolve_cache(cache)
+        #: Reduction schedule, see the class docstring.
+        self.reduce_policy = reduce_policy
         self.reduce_every_n = reduce_every_n
-        #: Adaptive override: when set, an off-cycle step is reduced anyway as
-        #: soon as the intermediate product exceeds this many states, so a
-        #: sparse reduction schedule cannot let the state space explode.
+        #: Size override: when set, a skipped step is reduced anyway as soon
+        #: as the intermediate product exceeds this many states.
         self.adaptive_reduction_states = adaptive_reduction_states
         self.statistics = CompositionStatistics()
         self._composed_blocks: set[str] = set()
         self._steps_since_reduction = 0
+        #: Fractional state shrinkage of the recent reduced steps (the
+        #: adaptive policy's evidence).
+        self._reduction_history: list[float] = []
 
     # ------------------------------------------------------------------ #
     # public API
@@ -240,10 +329,12 @@ class Composer:
         order = self._resolve_order()
         self._composed_blocks = set()
         self._steps_since_reduction = 0
+        self._reduction_history = []
         # Fresh statistics per run: compose() is re-runnable and must not
-        # accumulate steps/timings across invocations.
+        # accumulate steps/timings across invocations.  (The quotient cache,
+        # in contrast, deliberately survives re-runs.)
         self.statistics = CompositionStatistics()
-        system, _ = self._compose_group(order)
+        system, _, _ = self._compose_group(order)
         missing = set(self.translated.blocks) - self._composed_blocks
         if missing:
             raise CompositionError(
@@ -262,6 +353,7 @@ class Composer:
             ctmc=ctmc,
             statistics=self.statistics,
             plan_report=self.plan_report,
+            cache=self.cache,
         )
 
     def _resolve_order(self) -> CompositionOrder:
@@ -271,7 +363,13 @@ class Composer:
         if isinstance(self.order, str):  # validated to be "auto" in __init__
             from ..planner import plan_order  # late import: planner uses composer
 
-            keywords = {} if self.plan_budget is None else {"budget": self.plan_budget}
+            keywords: dict = {} if self.plan_budget is None else {"budget": self.plan_budget}
+            if self.plan_parameters is not None:
+                keywords["parameters"] = self.plan_parameters
+            if self.cache is not None:
+                # Let the search price the 2nd..N-th copy of an isomorphic
+                # sibling group at ~0: the cache will serve them.
+                keywords["cache_aware"] = True
             order, self.plan_report = plan_order(
                 self.translated, seed=self.plan_seed, **keywords
             )
@@ -321,15 +419,16 @@ class Composer:
     # ------------------------------------------------------------------ #
     def _compose_group(
         self, group: CompositionOrder | str
-    ) -> tuple[IOIMC, frozenset[str]]:
+    ) -> tuple[IOIMC, frozenset[str], SubtreeFingerprint | None]:
         """Recursively compose a (nested) group of blocks.
 
         Returns the composite together with the set of block names it
-        contains: hiding decisions must be taken against the blocks of *this*
-        composite, not against everything composed so far — a nested group is
-        built separately from the accumulated chain, and hiding one of its
-        signals because a listener exists in the (not-yet-joined) accumulated
-        composite would silence the synchronisation forever.
+        contains — hiding decisions must be taken against the blocks of
+        *this* composite, not against everything composed so far (a nested
+        group is built separately from the accumulated chain, and hiding one
+        of its signals because a listener exists in the not-yet-joined
+        accumulated composite would silence the synchronisation forever) —
+        and, when caching, the subtree's renaming-invariant fingerprint.
         """
         if isinstance(group, str):
             block = self.translated.blocks.get(group)
@@ -338,83 +437,201 @@ class Composer:
             if group in self._composed_blocks:
                 raise CompositionError(f"block {group!r} appears twice in the composition order")
             self._composed_blocks.add(group)
-            return block, frozenset((group,))
+            fingerprint = (
+                self.cache.leaf_fingerprint(block) if self.cache is not None else None
+            )
+            return block, frozenset((group,)), fingerprint
         members = list(group)
         if not members:
             raise CompositionError("empty group in composition order")
-        composite, blocks = self._compose_group(members[0])
+        composite, blocks, fingerprint = self._compose_group(members[0])
         for member in members[1:]:
-            block, member_blocks = self._compose_group(member)
+            block, member_blocks, block_fingerprint = self._compose_group(member)
             blocks |= member_blocks
-            description = f"{composite.name} || {block.name}"
-            compose_started = time.perf_counter()
-            composite = compose(composite, block, name=description)
-            before = composite.summary()
-            composite, hidden_actions = self._hide_closed_signals(composite, blocks)
-            compose_seconds = time.perf_counter() - compose_started
-            should_reduce = self._should_reduce(before["states"])
-            reduce_seconds = 0.0
-            if should_reduce:
-                reduce_started = time.perf_counter()
-                composite = self._reduce(composite)
-                reduce_seconds = time.perf_counter() - reduce_started
-                self._steps_since_reduction = 0
-            else:
-                self._steps_since_reduction += 1
-            after = composite.summary()
-            self.statistics.record(
-                CompositionStep(
-                    description=description,
-                    states_before_reduction=before["states"],
-                    transitions_before_reduction=before["transitions"],
-                    states_after_reduction=after["states"],
-                    transitions_after_reduction=after["transitions"],
-                    hidden_actions=tuple(hidden_actions),
-                    compose_seconds=compose_seconds,
-                    reduce_seconds=reduce_seconds,
-                    reduced=should_reduce,
-                )
+            composite, fingerprint = self._step(
+                composite, fingerprint, block, block_fingerprint, blocks
             )
             # Keep the running composite's name short; the full history is in
             # the recorded statistics.
             composite = composite.renamed(
                 f"composite[{len(self._composed_blocks)} blocks]"
             )
-        return composite, blocks
+        return composite, blocks, fingerprint
 
-    def _should_reduce(self, states_before: int) -> bool:
+    def _step(
+        self,
+        left: IOIMC,
+        left_fingerprint: SubtreeFingerprint | None,
+        right: IOIMC,
+        right_fingerprint: SubtreeFingerprint | None,
+        blocks: frozenset[str],
+    ) -> tuple[IOIMC, SubtreeFingerprint | None]:
+        """One binary step: compose, hide, reduce — or serve it from the cache."""
+        description = f"{left.name} || {right.name}"
+        hidable = self._hidable_signals(left.signature, right.signature, blocks)
+        cache = self.cache
+        plan = None
+        if cache is not None and left_fingerprint is not None and right_fingerprint is not None:
+            plan = cache.plan_step(left_fingerprint, right_fingerprint, hidable)
+
+        compose_started = time.perf_counter()
+        built: tuple[IOIMC, dict] | None = None
+
+        def ensure_built() -> tuple[IOIMC, dict]:
+            nonlocal built
+            if built is None:
+                product = compose(left, right, name=description)
+                before = product.summary()
+                built = (hide(product, hidable), before)
+            return built
+
+        def states_before() -> int:
+            if built is None and plan is not None:
+                peeked = cache.peek_before(plan)
+                if peeked is not None:
+                    return peeked[0]
+            return ensure_built()[1]["states"]
+
+        should_reduce, skip_reason = self._reduce_decision(states_before)
+
+        key = None
+        entry = None
+        if plan is not None:
+            key = cache.result_key(
+                plan,
+                reduced=should_reduce,
+                reduction=self.reduction,
+                eliminate_vanishing=self.eliminate_vanishing,
+            )
+            if built is None:
+                entry = cache.get(key)
+
+        if entry is not None:
+            # Cache hit: rebase the stored quotient onto this subtree's
+            # concrete signal names; no product, no refinement.
+            rename = {
+                old: new for old, new in zip(entry.slots, plan.slots) if old != new
+            }
+            if rename:
+                composite = rebase_actions(entry.automaton, rename, name=description)
+            else:
+                composite = entry.automaton.renamed(description)
+            cache.hits += 1
+            cache.saved_seconds += entry.cost_seconds
+            step = CompositionStep(
+                description=description,
+                states_before_reduction=entry.states_before,
+                transitions_before_reduction=entry.transitions_before,
+                states_after_reduction=entry.states_after,
+                transitions_after_reduction=entry.transitions_after,
+                hidden_actions=tuple(hidable),
+                compose_seconds=time.perf_counter() - compose_started,
+                reduce_seconds=0.0,
+                reduced=should_reduce,
+                cache_hit=True,
+                saved_seconds=entry.cost_seconds,
+                skip_reason=skip_reason,
+            )
+            self._note_reduction(should_reduce, entry.states_before, entry.states_after)
+            self.statistics.record(step)
+            return composite, SubtreeFingerprint(key, plan.slots)
+
+        composite, before = ensure_built()
+        compose_seconds = time.perf_counter() - compose_started
+        reduce_seconds = 0.0
+        if should_reduce:
+            reduce_started = time.perf_counter()
+            composite = self._reduce(composite)
+            reduce_seconds = time.perf_counter() - reduce_started
+        after = composite.summary()
+        next_fingerprint = None
+        if plan is not None and key is not None:
+            cache.misses += 1
+            if cache.store(
+                key,
+                plan,
+                composite,
+                states_before=before["states"],
+                transitions_before=before["transitions"],
+                compose_seconds=compose_seconds,
+                reduce_seconds=reduce_seconds,
+            ):
+                next_fingerprint = SubtreeFingerprint(key, plan.slots)
+        step = CompositionStep(
+            description=description,
+            states_before_reduction=before["states"],
+            transitions_before_reduction=before["transitions"],
+            states_after_reduction=after["states"],
+            transitions_after_reduction=after["transitions"],
+            hidden_actions=tuple(hidable),
+            compose_seconds=compose_seconds,
+            reduce_seconds=reduce_seconds,
+            reduced=should_reduce,
+            skip_reason=skip_reason,
+        )
+        self._note_reduction(should_reduce, before["states"], after["states"])
+        self.statistics.record(step)
+        return composite, next_fingerprint
+
+    def _note_reduction(self, reduced: bool, before: int, after: int) -> None:
+        """Update the schedule counter and the adaptive shrinkage history."""
+        if reduced:
+            self._steps_since_reduction = 0
+            if before > 0:
+                self._reduction_history.append(1.0 - after / before)
+        else:
+            self._steps_since_reduction += 1
+
+    def _reduce_decision(self, states_before) -> tuple[bool, str | None]:
         """Apply the reduction policy to the current step.
 
-        With ``reduce_every_n == 1`` (the default, and the paper's setup)
-        every step is reduced.  A sparser schedule reduces on every n-th
-        step, but the adaptive override kicks in whenever the intermediate
-        product has grown past ``adaptive_reduction_states``.
+        ``states_before`` is a *callable* returning the intermediate
+        product's state count — invoked only when the decision actually
+        needs the size (the size-threshold override), so a cache hit whose
+        policy does not consult it never builds the product at all.
+        Returns ``(reduce?, skip reason)``.
         """
-        if self.reduce_every_n <= 1:
-            return True
-        if self._steps_since_reduction + 1 >= self.reduce_every_n:
-            return True
+        if self.reduce_policy == "always":
+            return True, None
         threshold = self.adaptive_reduction_states
-        return threshold is not None and states_before > threshold
+        if self.reduce_policy == "every_n":
+            if self._steps_since_reduction + 1 >= self.reduce_every_n:
+                return True, None
+            if threshold is not None and states_before() > threshold:
+                return True, None
+            return False, "schedule"
+        # Adaptive: reduce while reductions keep shrinking the model; once
+        # the recent reductions bought less than the minimum yield, skip —
+        # but probe again after a few skips, and never let the product grow
+        # past the size override.
+        if self._steps_since_reduction + 1 >= _ADAPTIVE_PROBE_EVERY:
+            return True, None
+        window = self._reduction_history[-_ADAPTIVE_WINDOW:]
+        if not window or sum(window) / len(window) >= _ADAPTIVE_MIN_SHRINKAGE:
+            return True, None
+        if threshold is not None and states_before() > threshold:
+            return True, None
+        return False, "adaptive-low-yield"
 
-    def _hide_closed_signals(
-        self, composite: IOIMC, blocks: frozenset[str]
-    ) -> tuple[IOIMC, list[str]]:
-        """Hide every output whose listeners are all part of ``composite``.
+    def _hidable_signals(
+        self, left: Signature, right: Signature, blocks: frozenset[str]
+    ) -> list[str]:
+        """Outputs of ``left || right`` whose listeners are all in ``blocks``.
 
-        ``blocks`` are the block names making up ``composite``.  For a plain
-        left-deep order this is everything composed so far; inside a nested
-        group it is only the group's own blocks, so a signal whose listener
-        lives in the accumulated composite stays open until the join.
+        The composite's output set is exactly the union of the operands'
+        outputs (outputs win over inputs under signature composition), so
+        the hiding schedule can be decided before the product is built —
+        which is what lets a cache hit skip the product entirely.  For a
+        plain left-deep order ``blocks`` is everything composed so far;
+        inside a nested group it is only the group's own blocks, so a signal
+        whose listener lives in the accumulated composite stays open until
+        the join.
         """
-        hidable = []
-        for action in sorted(composite.signature.outputs):
-            listeners = self.translated.listeners_of(action)
-            if listeners <= blocks:
-                hidable.append(action)
-        if not hidable:
-            return composite, []
-        return hide(composite, hidable), hidable
+        return [
+            action
+            for action in sorted(left.outputs | right.outputs)
+            if self.translated.listeners_of(action) <= blocks
+        ]
 
     def _reduce(self, automaton: IOIMC) -> IOIMC:
         """Apply the reduction pipeline to an intermediate model."""
@@ -438,19 +655,22 @@ def compose_model(
     reduction: str = "strong",
     eliminate_vanishing: bool = True,
     lump_final_ctmc: bool = True,
+    cache: QuotientCache | str | None = None,
+    reduce_policy: str | None = None,
     reduce_every_n: int = 1,
     adaptive_reduction_states: int | None = None,
     plan_budget: int | None = None,
     plan_seed: int = 0,
+    plan_parameters: "CostParameters | str | None" = None,
 ) -> ComposedSystem:
     """One-call wrapper around :class:`Composer`.
 
     Accepts the same keyword arguments (see the :class:`Composer` docstring
-    for the reduction policy — ``reduction``, ``reduce_every_n``,
-    ``adaptive_reduction_states`` — and the order planner —
-    ``order="auto"``, ``plan_budget``, ``plan_seed``) and returns the fully
-    composed :class:`ComposedSystem` with its I/O-IMC, CTMC and per-step
-    statistics.
+    for the reduction policy — ``reduction``, ``reduce_policy``,
+    ``reduce_every_n``, ``adaptive_reduction_states`` — the quotient cache
+    — ``cache`` — and the order planner — ``order="auto"``, ``plan_budget``,
+    ``plan_seed``, ``plan_parameters``) and returns the fully composed
+    :class:`ComposedSystem` with its I/O-IMC, CTMC and per-step statistics.
     """
     composer = Composer(
         translated,
@@ -458,10 +678,13 @@ def compose_model(
         reduction=reduction,
         eliminate_vanishing=eliminate_vanishing,
         lump_final_ctmc=lump_final_ctmc,
+        cache=cache,
+        reduce_policy=reduce_policy,
         reduce_every_n=reduce_every_n,
         adaptive_reduction_states=adaptive_reduction_states,
         plan_budget=plan_budget,
         plan_seed=plan_seed,
+        plan_parameters=plan_parameters,
     )
     return composer.compose()
 
@@ -472,5 +695,7 @@ __all__ = [
     "CompositionStatistics",
     "CompositionStep",
     "Composer",
+    "REDUCE_POLICIES",
+    "REDUCTION_MODES",
     "compose_model",
 ]

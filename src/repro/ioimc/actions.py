@@ -18,9 +18,28 @@ composition.
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass
 
 from ..errors import SignatureError
+
+_DIGIT_RUNS = re.compile(r"(\d+)")
+
+
+def natural_sort_key(name: str) -> tuple:
+    """Sort key treating digit runs numerically (``d_9`` before ``d_10``).
+
+    Replicated model instances name their signals with a running index;
+    ordering action names naturally keeps the replicas' relative orders
+    aligned (plain lexicographic order puts ``d_10`` before ``d_9``), which
+    is what lets the quotient cache pair their structures slot by slot.
+    Digit runs compare before any non-digit fragment at the same position,
+    making the order total across heterogeneous names.
+    """
+    parts = _DIGIT_RUNS.split(name)
+    return tuple(
+        (0, int(part)) if part.isdigit() else (1, part) for part in parts
+    )
 
 
 class ActionKind(enum.Enum):

@@ -25,7 +25,7 @@ import numpy as np
 
 from ..errors import InputEnablednessError, ModelError
 from ..nputil import csr_indptr, dedupe_packed_triples, gather_row_indices, rows_from_edges
-from .actions import ActionKind, Signature
+from .actions import ActionKind, Signature, natural_sort_key
 
 
 @dataclass(frozen=True)
@@ -349,7 +349,16 @@ class IOIMC:
         for state, row in enumerate(self.interactive):
             missing = inputs - {action for action, _ in row}
             if missing:
-                interactive.append(list(row) + [(action, state) for action in missing])
+                # Natural name order (not set hash order): the self-loop
+                # positions then depend only on the naming scheme, keeping
+                # replicated blocks structurally aligned for the cache.
+                interactive.append(
+                    list(row)
+                    + [
+                        (action, state)
+                        for action in sorted(missing, key=natural_sort_key)
+                    ]
+                )
                 changed = True
             else:
                 interactive.append(row)

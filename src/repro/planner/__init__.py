@@ -17,7 +17,14 @@ hand-craft a hierarchical decomposition:
   and the ``--order auto`` flag of the case-study CLIs.
 """
 
-from .costmodel import CostModel, CostParameters, CostState
+from .costmodel import (
+    CostModel,
+    CostParameters,
+    CostState,
+    load_cost_parameters,
+    resolve_cost_parameters,
+    save_cost_parameters,
+)
 from .planner import DEFAULT_BUDGET, PlanReport, plan_order
 from .search import (
     SearchResult,
@@ -26,6 +33,7 @@ from .search import (
     beam_search,
     beam_search_groups,
     gate_tree_group_order,
+    group_isomorphism_classes,
     order_group_by_cost,
     score_groups,
 )
@@ -42,7 +50,10 @@ __all__ = [
     "beam_search",
     "beam_search_groups",
     "gate_tree_group_order",
+    "group_isomorphism_classes",
+    "load_cost_parameters",
     "order_group_by_cost",
     "plan_order",
-    "score_groups",
+    "resolve_cost_parameters",
+    "save_cost_parameters",
 ]

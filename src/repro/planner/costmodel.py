@@ -29,8 +29,10 @@ predicted sizes are the signal.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Iterator
 
 from ..arcade.semantics import TranslatedModel
@@ -57,6 +59,53 @@ class CostParameters:
 
     sync_damping: float = DEFAULT_SYNC_DAMPING
     hide_damping: float = DEFAULT_HIDE_DAMPING
+
+    def as_dict(self) -> dict[str, float]:
+        return {"sync_damping": self.sync_damping, "hide_damping": self.hide_damping}
+
+    @staticmethod
+    def from_dict(data: dict) -> "CostParameters":
+        return CostParameters(
+            sync_damping=float(data["sync_damping"]),
+            hide_damping=float(data["hide_damping"]),
+        )
+
+
+def save_cost_parameters(
+    path: "str | Path",
+    parameters: CostParameters,
+    *,
+    family: str,
+    source: str | None = None,
+) -> None:
+    """Persist fitted damping factors as JSON next to a benchmark artifact.
+
+    ``family`` names the model family the parameters were fitted on (e.g.
+    ``"dds"``); ``source`` optionally records where the fit came from (a
+    benchmark name, a statistics run).  The file round-trips through
+    :func:`load_cost_parameters`, which :func:`repro.planner.plan_order` and
+    ``Composer(order="auto", plan_parameters=...)`` accept in place of the
+    built-in DDS/RCS-fitted defaults — closing the calibration loop: every
+    benchmark run can refine the planner for its model family.
+    """
+    payload: dict[str, object] = {"family": family, **parameters.as_dict()}
+    if source is not None:
+        payload["source"] = source
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_cost_parameters(path: "str | Path") -> CostParameters:
+    """Load damping factors persisted by :func:`save_cost_parameters`."""
+    return CostParameters.from_dict(json.loads(Path(path).read_text()))
+
+
+def resolve_cost_parameters(
+    parameters: "CostParameters | str | Path | None",
+) -> CostParameters | None:
+    """Normalise a ``plan_parameters`` argument (instance, JSON path or None)."""
+    if parameters is None or isinstance(parameters, CostParameters):
+        return parameters
+    return load_cost_parameters(parameters)
 
 
 @dataclass(frozen=True)
@@ -105,6 +154,11 @@ class CostModel:
             for action in self._emitter_of
         }
         self._leaf_cache: dict[str, CostState] = {}
+        #: Positional forms of the leaf blocks (filled lazily by
+        #: :meth:`block_fingerprint`): the isomorphism-aware search asks for
+        #: the same digests when classifying sibling groups and when scoring
+        #: cache-aware chains, so they are memoised once per model.
+        self._block_fingerprints: dict[str, tuple[str, tuple[str, ...]]] = {}
         #: The signal-set half of :meth:`combine` — shared count, newly
         #: hidable count, resulting visible set — is a pure function of the
         #: two operands' block sets, so it is memoised; the beam and the
@@ -118,6 +172,22 @@ class CostModel:
     # ------------------------------------------------------------------ #
     # incremental estimation (the search's inner loop)
     # ------------------------------------------------------------------ #
+    def block_fingerprint(self, name: str) -> tuple[str, tuple[str, ...]]:
+        """Positional form ``(digest, slots)`` of one leaf block (memoised).
+
+        Structure up to signal renaming
+        (:func:`repro.composer.cache.positional_form`): equal digests mark
+        the replicated blocks the isomorphism-aware search treats as
+        interchangeable, and the slot lists let it compare their wiring.
+        """
+        fingerprint = self._block_fingerprints.get(name)
+        if fingerprint is None:
+            from ..composer.cache import positional_form
+
+            fingerprint = positional_form(self.translated.blocks[name])
+            self._block_fingerprints[name] = fingerprint
+        return fingerprint
+
     def leaf(self, name: str) -> CostState:
         """Cost state of a single, not-yet-composed block (cached)."""
         state = self._leaf_cache.get(name)
@@ -312,4 +382,7 @@ __all__ = [
     "CostState",
     "DEFAULT_HIDE_DAMPING",
     "DEFAULT_SYNC_DAMPING",
+    "load_cost_parameters",
+    "resolve_cost_parameters",
+    "save_cost_parameters",
 ]

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from ..arcade.semantics import TranslatedModel
 from ..composer import CompositionOrder, hierarchical_order
 from ..composer.ordering import GateScheduler
-from .costmodel import CostModel
+from .costmodel import CostModel, CostParameters, resolve_cost_parameters
 from .search import (
     SearchResult,
     affinity_groups,
@@ -37,6 +37,7 @@ from .search import (
     beam_search,
     beam_search_groups,
     gate_tree_group_order,
+    group_isomorphism_classes,
     order_group_by_cost,
     score_groups,
 )
@@ -87,6 +88,8 @@ def plan_order(
     budget: int = DEFAULT_BUDGET,
     seed: int = 0,
     cost_model: CostModel | None = None,
+    parameters: "CostParameters | str | None" = None,
+    cache_aware: bool = False,
 ) -> tuple[CompositionOrder, PlanReport]:
     """Search for a good composition order for ``translated``.
 
@@ -106,6 +109,16 @@ def plan_order(
     cost_model:
         Override the default :class:`CostModel` — pass a calibrated model to
         plan with damping factors fitted from earlier runs.
+    parameters:
+        Damping factors for the default cost model: a
+        :class:`CostParameters` instance or a path to a JSON file persisted
+        by :func:`save_cost_parameters` (the per-family files the
+        benchmarks export).  Ignored when ``cost_model`` is given.
+    cache_aware:
+        Price the internal fold of the second-through-N-th copy of an
+        isomorphic sibling group at ~0 — the composer's quotient cache will
+        serve those copies.  ``Composer(order="auto", cache=...)`` sets this
+        automatically.
 
     Returns
     -------
@@ -115,7 +128,10 @@ def plan_order(
     if budget < 1:
         raise ValueError(f"plan_order budget must be >= 1, got {budget}")
     started = time.perf_counter()
-    model = cost_model if cost_model is not None else CostModel(translated)
+    if cost_model is not None:
+        model = cost_model
+    else:
+        model = CostModel(translated, resolve_cost_parameters(parameters))
     scheduler = GateScheduler(translated)
     num_leaves = max(len(scheduler.non_gate_blocks), 1)
 
@@ -129,8 +145,18 @@ def plan_order(
         order_group_by_cost(model, group) for group in affinity_groups(translated)
     ]
     if len(groups) > 1:
+        # Isomorphic sibling groups (the replicated subsystems) collapse the
+        # beam's branching: only one representative per class is tried at
+        # every extension point, so planning effort grows linearly — not
+        # factorially — with the replica count.
+        iso_classes = group_isomorphism_classes(translated, groups, model=model)
         best, explored = beam_search_groups(
-            model, scheduler, groups, width=beam_width
+            model,
+            scheduler,
+            groups,
+            width=beam_width,
+            iso_classes=iso_classes,
+            cache_aware=cache_aware,
         )
         # Second candidate: chain the groups along a depth-first walk of the
         # fault tree (the structure of the paper's hand-written orders),
@@ -140,7 +166,7 @@ def plan_order(
             tuple(groups[index])
             for index in gate_tree_group_order(scheduler, groups)
         )
-        tree_cost = score_groups(model, scheduler, tree_groups)
+        tree_cost = score_groups(model, scheduler, tree_groups, cache_aware=cache_aware)
         explored += 1
         if (tree_cost.peak, tree_cost.total) < best.score:
             best = SearchResult(groups=tree_groups, cost=tree_cost, explored=explored)
@@ -155,7 +181,7 @@ def plan_order(
     greedy_groups = tuple(
         (name,) for name in greedy_order if name not in scheduler.gate_names
     )
-    greedy_cost = score_groups(model, scheduler, greedy_groups)
+    greedy_cost = score_groups(model, scheduler, greedy_groups, cache_aware=cache_aware)
     explored += 1
     if (greedy_cost.peak, greedy_cost.total) < best.score:
         best = SearchResult(groups=greedy_groups, cost=greedy_cost, explored=explored)
@@ -169,6 +195,7 @@ def plan_order(
             best.groups,
             iterations=annealing_iterations,
             rng=rng,
+            cache_aware=cache_aware,
         )
         explored += annealed_explored
         # The cost model is a ranking device, not a measurement: near-ties

@@ -38,10 +38,12 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..arcade.semantics import TranslatedModel
+from ..composer.cache import positional_form
 from ..composer.ordering import GateScheduler
+from ..ioimc.actions import natural_sort_key
 from .costmodel import CostModel, CostState
 
 
@@ -108,7 +110,7 @@ def affinity_groups(translated: TranslatedModel) -> list[list[str]]:
     groups = []
     for members in components.values():
         groups.append(_greedy_group_order(members, visible))
-    groups.sort(key=lambda group: group[0])
+    groups.sort(key=lambda group: natural_sort_key(group[0]))
     return groups
 
 
@@ -118,19 +120,106 @@ def _greedy_group_order(members: list[str], visible: dict[str, frozenset[str]]) 
         return list(members)
     sizes = {name: len(visible[name]) for name in members}
     remaining = set(members)
-    start = min(remaining, key=lambda name: (sizes[name], name))
+    # Natural name order on ties (d_9 before d_10): replicated groups then
+    # order their members identically relative to the naming scheme, which
+    # keeps the quotient cache's slot pairings aligned across the replicas.
+    start = min(remaining, key=lambda name: (sizes[name], natural_sort_key(name)))
     ordered = [start]
     remaining.remove(start)
     open_actions = set(visible[start])
     while remaining:
         best = min(
             remaining,
-            key=lambda name: (-len(visible[name] & open_actions), sizes[name], name),
+            key=lambda name: (
+                -len(visible[name] & open_actions),
+                sizes[name],
+                natural_sort_key(name),
+            ),
         )
         ordered.append(best)
         remaining.remove(best)
         open_actions |= visible[best]
     return ordered
+
+
+def group_isomorphism_classes(
+    translated: TranslatedModel,
+    groups: list[list[str]],
+    *,
+    model: CostModel | None = None,
+) -> list[int]:
+    """Isomorphism-class id per affinity group (first-occurrence numbering).
+
+    Two groups land in the same class when, position by position, their
+    members' positional-form digests
+    (:func:`repro.composer.cache.positional_form` — structure up to signal
+    renaming) agree **and** their wiring profiles agree in slot
+    coordinates: which member slots synchronise with which inside the
+    group, how many listeners each signal has outside the group, and
+    whether it is emitted from outside.  The wiring part keeps the beam's
+    symmetry pruning honest — two structurally identical groups that are
+    coupled *differently* to the rest of the model (say, one observed by an
+    extra functional dependency) are not interchangeable and must not share
+    a class.  On the case studies this recognises exactly the replicated
+    subsystems — the DDS disk clusters, the controller sets — whose
+    second-through-N-th copies the quotient cache serves for free: the
+    beam search canonicalises their chaining order and the cache-aware cost
+    model prices the copies at ~0.
+
+    ``model`` supplies memoised positional forms
+    (:meth:`~repro.planner.costmodel.CostModel.block_fingerprint`); without
+    one they are computed locally.
+    """
+    if model is not None:
+        fingerprint_of = model.block_fingerprint
+    else:
+        blocks = translated.blocks
+        local: dict[str, tuple[str, tuple[str, ...]]] = {}
+
+        def fingerprint_of(name: str) -> tuple[str, tuple[str, ...]]:
+            cached = local.get(name)
+            if cached is None:
+                cached = positional_form(blocks[name])
+                local[name] = cached
+            return cached
+
+    emitter_of: dict[str, str] = {}
+    for name, block in translated.blocks.items():
+        for action in block.signature.outputs:
+            emitter_of[action] = name
+
+    class_of: dict[tuple, int] = {}
+    classes: list[int] = []
+    for group in groups:
+        fingerprints = [fingerprint_of(name) for name in group]
+        group_set = set(group)
+        slot_index = [
+            {signal: position for position, signal in enumerate(slots)}
+            for _, slots in fingerprints
+        ]
+        profile = []
+        for member, (_, slots) in enumerate(fingerprints):
+            rows = []
+            for signal in slots:
+                internal = tuple(
+                    sorted(
+                        (other, slot_index[other][signal])
+                        for other in range(len(group))
+                        if other != member and signal in slot_index[other]
+                    )
+                )
+                external_listeners = len(
+                    translated.listeners_of(signal) - group_set
+                )
+                externally_emitted = emitter_of.get(signal) not in group_set
+                rows.append((internal, external_listeners, externally_emitted))
+            profile.append(tuple(rows))
+        signature = (
+            tuple(digest for digest, _ in fingerprints),
+            tuple(profile),
+        )
+        classes.append(class_of.setdefault(signature, len(class_of)))
+    return classes
 
 
 def gate_tree_group_order(
@@ -198,9 +287,9 @@ def order_group_by_cost(
         state = model.leaf(start)
         rest = set(members) - {start}
         while rest:
-            def extension_key(name: str) -> tuple[float, float, str]:
+            def extension_key(name: str) -> tuple[float, float, tuple]:
                 combined = model.combine(state, model.leaf(name))
-                return (combined.peak, combined.total, name)
+                return (combined.peak, combined.total, natural_sort_key(name))
 
             chosen = min(rest, key=extension_key)
             state = model.combine(state, model.leaf(chosen))
@@ -216,20 +305,37 @@ def order_group_by_cost(
 # --------------------------------------------------------------------------- #
 # scoring
 # --------------------------------------------------------------------------- #
+def _discounted(state: CostState) -> CostState:
+    """A group fold's cost state with its own peak/total priced at ~0.
+
+    Used by the cache-aware search: the second-through-N-th copy of an
+    isomorphic group is served from the quotient cache, so its internal
+    fold contributes no intermediate products — only the join to the
+    accumulated composite still costs.
+    """
+    return replace(state, peak=0.0, total=0.0)
+
+
 def score_groups(
     model: CostModel,
     scheduler: GateScheduler,
     groups: tuple[tuple[str, ...], ...],
+    *,
+    cache_aware: bool = False,
 ) -> CostState:
     """Score a group chain under :func:`hierarchical_order`'s nested semantics.
 
     Every group is folded (and its inner gates appended) on its own, then
     joined to the accumulated composite; gates spanning several groups are
-    composed at the join as soon as their leaves are covered.
+    composed at the join as soon as their leaves are covered.  With
+    ``cache_aware`` the internal fold of a group whose member sequence
+    repeats an earlier group (same leaf automata structure — a replicated
+    subsystem) is priced at ~0: the quotient cache will serve it.
     """
     unassigned = set(scheduler.gate_names)
     cumulative: set[str] = set()
     accumulated: CostState | None = None
+    seen_folds: set[tuple[str, ...]] = set()
     for group in groups:
         group_set = set(group)
         cumulative |= group_set
@@ -243,6 +349,12 @@ def score_groups(
         for gate in inner:
             state = model.combine(state, model.leaf(gate))
         assert state is not None, "empty group in candidate order"
+        if cache_aware:
+            fold_key = _fold_key(model, group)
+            if fold_key in seen_folds:
+                state = _discounted(state)
+            else:
+                seen_folds.add(fold_key)
         accumulated = (
             state if accumulated is None else model.combine(accumulated, state)
         )
@@ -254,6 +366,17 @@ def score_groups(
     return accumulated
 
 
+def _fold_key(model: CostModel, group: tuple[str, ...]) -> tuple[str, ...]:
+    """Replication key of one group's internal fold for cache-aware scoring.
+
+    The positional digests of the member blocks, in fold order — matching
+    the digest half of :func:`group_isomorphism_classes` — so replicated
+    groups share a key.  Served from the cost model's memoised fingerprints
+    (the annealer re-scores whole chains per iteration).
+    """
+    return tuple(model.block_fingerprint(name)[0] for name in group)
+
+
 # --------------------------------------------------------------------------- #
 # beam searches
 # --------------------------------------------------------------------------- #
@@ -263,6 +386,8 @@ def beam_search_groups(
     groups: list[list[str]],
     *,
     width: int = 6,
+    iso_classes: list[int] | None = None,
+    cache_aware: bool = False,
 ) -> tuple[SearchResult, int]:
     """Beam search over the left-deep chaining order of affinity groups.
 
@@ -271,6 +396,17 @@ def beam_search_groups(
     (plus the join gates that become ready) instead of re-scoring the whole
     prefix; each group's internal fold — including the gates whose leaves
     lie entirely inside it — is computed once up front.
+
+    ``iso_classes`` (from :func:`group_isomorphism_classes`) canonicalises
+    symmetric orders: at every extension point only the first unchosen
+    member of each isomorphism class — in the gate-tree walk order of
+    :func:`gate_tree_group_order`, which is the order the fault tree pairs
+    the replicas in — is tried, so the beam never explores the
+    ``k!`` interchangeable permutations of replicated subsystems and the
+    number of candidates grows linearly, not quadratically, with the
+    replica count.  ``cache_aware`` additionally prices the internal fold
+    of the second-through-N-th copy of a class at ~0 (the quotient cache
+    serves it), so symmetric replicas stop dominating the predicted cost.
     """
     explored = 0
     # Per group: its folded cost state (inner gates included) and leaf set.
@@ -295,23 +431,44 @@ def beam_search_groups(
         group_sets.append(group_set)
     spanning = frozenset(scheduler.gate_names) - inner_assigned
 
+    if iso_classes is None:
+        iso_classes = list(range(len(groups)))
+    # Members of every class, in gate-tree walk order: the canonical order
+    # the interchangeable replicas are chained in.
+    tree_rank = {index: rank for rank, index in enumerate(
+        gate_tree_group_order(scheduler, groups)
+    )}
+    members_of_class: dict[int, list[int]] = {}
+    for index, iso_class in enumerate(iso_classes):
+        members_of_class.setdefault(iso_class, []).append(index)
+    for members in members_of_class.values():
+        members.sort(key=lambda index: tree_rank.get(index, index))
+
     # A candidate: (cost state, chosen group indices (set + sequence),
     # cumulative leaf set, unassigned spanning gates).
     candidates: list[
         tuple[CostState | None, frozenset[int], tuple[int, ...], frozenset[str], frozenset[str]]
     ] = [(None, frozenset(), (), frozenset(), spanning)]
-    all_indices = range(len(groups))
-    for _ in all_indices:
+    for _ in range(len(groups)):
         extensions: list[tuple] = []
         for state, chosen, sequence, cumulative, unassigned in candidates:
-            for index in all_indices:
-                if index in chosen:
-                    continue
+            eligible: list[int] = []
+            for members in members_of_class.values():
+                for index in members:
+                    if index not in chosen:
+                        eligible.append(index)
+                        break
+            for index in eligible:
                 new_cumulative = cumulative | group_sets[index]
+                group_state = group_states[index]
+                if cache_aware and any(
+                    iso_classes[other] == iso_classes[index] for other in chosen
+                ):
+                    group_state = _discounted(group_state)
                 new_state = (
-                    group_states[index]
+                    group_state
                     if state is None
-                    else model.combine(state, group_states[index])
+                    else model.combine(state, group_state)
                 )
                 joins = scheduler.ready_gates(unassigned, new_cumulative)
                 for gate in joins:
@@ -439,6 +596,7 @@ def anneal_order(
     rng: random.Random,
     initial_temperature: float = 0.6,
     final_temperature: float = 0.02,
+    cache_aware: bool = False,
 ) -> tuple[SearchResult, int]:
     """Refine a group chain by simulated annealing over leaf permutations.
 
@@ -448,7 +606,7 @@ def anneal_order(
     best candidate seen and the number of candidates scored.
     """
     current = tuple(tuple(group) for group in start)
-    current_cost = score_groups(model, scheduler, current)
+    current_cost = score_groups(model, scheduler, current, cache_aware=cache_aware)
     current_energy = _energy(current_cost)
     best, best_cost = current, current_cost
     explored = 0
@@ -462,7 +620,7 @@ def anneal_order(
         candidate = _mutate(current, rng)
         if candidate is None:
             continue
-        candidate_cost = score_groups(model, scheduler, candidate)
+        candidate_cost = score_groups(model, scheduler, candidate, cache_aware=cache_aware)
         explored += 1
         candidate_energy = _energy(candidate_cost)
         delta = candidate_energy - current_energy
@@ -525,6 +683,7 @@ __all__ = [
     "beam_search",
     "beam_search_groups",
     "gate_tree_group_order",
+    "group_isomorphism_classes",
     "order_group_by_cost",
     "score_groups",
 ]

@@ -34,6 +34,7 @@ class _ComponentState:
     failure_mode: str | None = None
     active: bool = False
     failure_event: int | None = None  # sequence number of the scheduled failure
+    failure_phase: int = 0  # reached phase of the time-to-failure distribution
     waiting_for_repair: bool = False
 
 
@@ -71,7 +72,7 @@ class ArcadeSimulator:
             if time > horizon:
                 break
             event_id = payload.get("event_id")
-            if kind == "failure":
+            if kind in ("failure", "phase"):
                 component = payload["component"]
                 if state[component].failure_event != event_id or state[component].down:
                     continue  # superseded (e.g. mode switch rescheduled the failure)
@@ -82,6 +83,15 @@ class ArcadeSimulator:
             now = time
             if kind == "failure":
                 self._handle_failure(payload["component"], payload["mode"], state, units, events, counter, now)
+            elif kind == "phase":
+                # The failure distribution advanced one phase; the reached
+                # phase is remembered so a later operational-mode switch
+                # resumes from it instead of restarting the distribution.
+                component = payload["component"]
+                state[component].failure_phase = payload["phase"]
+                self._schedule_failure(
+                    component, state, events, counter, now, preserve_phase=True
+                )
             elif kind == "repair":
                 self._handle_repair(payload["unit"], state, units, events, counter, now)
             else:  # pragma: no cover - defensive
@@ -161,42 +171,96 @@ class ArcadeSimulator:
         events: list,
         counter,
         now: float,
+        *,
+        preserve_phase: bool = False,
     ) -> None:
-        """(Re)draw the failure time of an operational component.
+        """(Re)schedule the failure progress of an operational component.
 
-        Re-drawing the complete time-to-failure on every operational-mode
-        switch is an approximation of the phase-preserving semantics used by
-        the analytical pipeline; for the exponential distributions of the
-        case studies the two coincide (memorylessness), and for Erlang times
-        the difference is far below the Monte-Carlo noise the tests tolerate.
+        The time-to-failure distribution is executed *phase by phase* (one
+        exponential jump of its underlying absorbing CTMC per event), with
+        the reached phase recorded on the component state.  An
+        operational-mode switch therefore preserves the already-reached
+        phase (``preserve_phase=True``) and merely re-draws the remaining
+        time of the current phase under the new mode's rates — exact by the
+        memorylessness of the per-phase exponential holding times, and
+        exactly the phase-preserving semantics of the analytical
+        translation (:mod:`repro.arcade.semantics.bc_semantics`).  Like the
+        translation, a preserved phase outside the new distribution's range
+        restarts the distribution.
         """
         component = self.model.component(name)
-        if state[name].down:
+        component_state = state[name]
+        if component_state.down:
             return
         distribution = component.time_to_failure_of(
             self._operational_state_index(name, state)
         )
         if distribution is None:
-            state[name].failure_event = None
+            component_state.failure_event = None
             return
-        delay = distribution.sample(self.rng)
-        event_id = next(counter)
-        state[name].failure_event = event_id
-        mode_index = int(
-            self.rng.choice(
-                component.num_failure_modes,
-                p=np.asarray(component.failure_mode_probabilities),
+        if preserve_phase and component_state.failure_phase < distribution.num_phases:
+            phase = component_state.failure_phase
+        else:
+            phase = int(
+                self.rng.choice(
+                    distribution.num_phases, p=np.asarray(distribution.initial)
+                )
             )
-        )
-        heapq.heappush(
-            events,
-            (
-                now + delay,
-                event_id,
-                "failure",
-                {"component": name, "mode": f"m{mode_index + 1}", "event_id": event_id},
-            ),
-        )
+        component_state.failure_phase = phase
+        outgoing: list[tuple[float, int | None]] = [
+            (rate, target)
+            for source, rate, target in distribution.transitions
+            if source == phase
+        ] + [
+            (rate, None)
+            for completion_phase, rate in distribution.completions
+            if completion_phase == phase
+        ]
+        total = sum(rate for rate, _ in outgoing)
+        if total <= 0:  # a dead phase: the component can never fail from here
+            component_state.failure_event = None
+            return
+        delay = float(self.rng.exponential(1.0 / total))
+        choice = self.rng.uniform(0.0, total)
+        cumulative = 0.0
+        target = outgoing[-1][1]
+        for rate, candidate in outgoing:
+            cumulative += rate
+            if choice <= cumulative:
+                target = candidate
+                break
+        event_id = next(counter)
+        component_state.failure_event = event_id
+        if target is None:
+            mode_index = int(
+                self.rng.choice(
+                    component.num_failure_modes,
+                    p=np.asarray(component.failure_mode_probabilities),
+                )
+            )
+            heapq.heappush(
+                events,
+                (
+                    now + delay,
+                    event_id,
+                    "failure",
+                    {
+                        "component": name,
+                        "mode": f"m{mode_index + 1}",
+                        "event_id": event_id,
+                    },
+                ),
+            )
+        else:
+            heapq.heappush(
+                events,
+                (
+                    now + delay,
+                    event_id,
+                    "phase",
+                    {"component": name, "phase": target, "event_id": event_id},
+                ),
+            )
 
     def _handle_failure(self, name, mode, state, units, events, counter, now) -> None:
         component_state = state[name]
@@ -245,8 +309,12 @@ class ArcadeSimulator:
                 group.kind is not OMGroupKind.ACTIVE_INACTIVE and group.triggers
                 for group in component.operational_modes
             ) and not state[name].down:
-                # A mode switch may change the failure rate: redraw the TTF.
-                self._schedule_failure(name, state, events, counter, now)
+                # A mode switch may change the failure rates: re-draw the
+                # remaining time of the *current* phase under the new mode,
+                # keeping the reached phase (see _schedule_failure).
+                self._schedule_failure(
+                    name, state, events, counter, now, preserve_phase=True
+                )
         # Spare management.
         for unit in self.model.spare_units.values():
             primary_down = state[unit.primary].down
@@ -257,13 +325,18 @@ class ArcadeSimulator:
                         if not state[spare].down:
                             if not state[spare].active:
                                 state[spare].active = True
-                                self._schedule_failure(spare, state, events, counter, now)
+                                self._schedule_failure(
+                                    spare, state, events, counter, now,
+                                    preserve_phase=True,
+                                )
                             break
             else:
                 for spare in active_spares:
                     state[spare].active = False
                     if not state[spare].down:
-                        self._schedule_failure(spare, state, events, counter, now)
+                        self._schedule_failure(
+                            spare, state, events, counter, now, preserve_phase=True
+                        )
 
     # ------------------------------------------------------------------ #
     # repair units

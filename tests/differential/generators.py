@@ -22,7 +22,8 @@ Four families sample the constructs the reduction engines have to get right:
     Erlang (phase-type) failure and repair distributions, which multiply
     the per-component state space and exercise the phase-tracking of the
     translation.  Odd seeds additionally attach a load-sharing degradation
-    group; see the *simulator caveat* in the function's docstring.
+    group, exercising the phase-preserving mode-switch semantics on both
+    the analytical and the simulation side.
 :func:`random_priority_model`
     Priority-preemptive (and non-preemptive) repair queues with distinct
     per-component priorities — preemption introduces extra interleavings of
@@ -117,16 +118,11 @@ def random_erlang_model(seed: int) -> ArcadeModel:
     component, triggered by the failure of the second, with a higher-rate
     Erlang time-to-failure in the degraded mode.
 
-    Simulator caveat
-    ----------------
-    The Monte-Carlo simulator *redraws* the complete time-to-failure on
-    every operational-mode switch, whereas the analytical translation
-    preserves the already-reached Erlang phase (see
-    :meth:`repro.simulation.ArcadeSimulator._schedule_failure`).  For
-    exponential times the two coincide (memorylessness); for Erlang times
-    they do not, so only the redraw-free *even* seeds are eligible for the
-    statistical simulator cross-check.  The exact flat-baseline cross-check
-    is unaffected — both sides of that comparison are analytic.
+    The Monte-Carlo simulator executes phase-type failure times phase by
+    phase and preserves the reached phase across operational-mode switches
+    (see :meth:`repro.simulation.ArcadeSimulator._schedule_failure`),
+    matching the analytical translation exactly, so *both* even and odd
+    seeds are eligible for the statistical simulator cross-check.
     """
     rng = random.Random(f"erlang-{seed}")
     model = ArcadeModel(name=f"random_erlang_model_{seed}")

@@ -13,12 +13,11 @@ computed through the *composed + reduced* pipeline must agree
 
 The corpus spans four generator families: the base corpus (FCFS queues,
 cold spares, random fault trees), Erlang phase-type distributions,
-priority-preemptive repair and destructive FDEPs.  Erlang models with
-operational-mode switches are excluded from the simulator cross-check
-because the simulator redraws the whole time-to-failure on a mode switch
-while the translation preserves the reached phase (see
-:func:`generators.random_erlang_model`); their flat cross-check is exact
-regardless.
+priority-preemptive repair and destructive FDEPs.  The simulator executes
+phase-type failure times phase by phase and preserves the reached phase
+across operational-mode switches — the same semantics as the analytical
+translation — so Erlang models *with* mode switches (odd seeds of the
+Erlang family) are part of the simulator cross-check as well.
 
 Together with the golden pins of ``tests/test_golden_regression.py`` this is
 the safety net that lets the lumping/composition engine be rewritten for
@@ -66,11 +65,13 @@ CORPUS = [
 ]
 
 #: (family, seed) cases cross-checked against the (slower) Monte-Carlo
-#: simulator.  Erlang cases must be redraw-free (even seeds — no
-#: operational-mode groups, hence no mid-life TTF redraw in the simulator).
+#: simulator.  The Erlang cases deliberately mix redraw-free even seeds
+#: with odd seeds whose degradation groups switch operational modes
+#: mid-life: the simulator preserves the reached Erlang phase across the
+#: switch (exactly like the translation), so both kinds must agree.
 SIMULATION_CASES = (
     [("base", seed) for seed in (0, 5, 11, 17, 23)]
-    + [("erlang", 0), ("erlang", 2)]
+    + [("erlang", 0), ("erlang", 1), ("erlang", 2), ("erlang", 3)]
     + [("priority", 1), ("priority", 4)]
     + [("fdep", 0), ("fdep", 5)]
 )

@@ -1,0 +1,252 @@
+"""The isomorphism-aware quotient cache (:mod:`repro.composer.cache`).
+
+Three layers:
+
+* **bit-identity** — a cached pipeline must reproduce the uncached one
+  exactly: same per-step state/transition trajectory, same final CTMC, the
+  same measure to the last bit (the broad randomised sweep lives in
+  ``tests/differential/test_cache_differential.py``);
+* **hits where expected** — the replicated DDS/RCS subtrees must actually
+  be served from the cache, both within one run and across the runs sharing
+  a cache (the evaluator's availability + no-repair reliability pipelines);
+* **policy plumbing** — the ``cache=`` argument resolution, the adaptive
+  reduction policy's recorded skip decisions, and the persisted
+  cost-parameter loop of the planner.
+"""
+
+import pytest
+
+from repro.arcade import (
+    ArcadeModel,
+    BasicComponent,
+    RepairStrategy,
+    RepairUnit,
+    down,
+)
+from repro.arcade.expressions import And
+from repro.arcade.semantics import translate_model
+from repro.casestudies.dds import DDSParameters, build_dds_evaluator, build_dds_model, dds_composition_order
+from repro.casestudies.rcs import build_rcs_modular_evaluator
+from repro.composer import Composer, QuotientCache, compose_model, resolve_cache
+from repro.ctmc import steady_state_availability
+from repro.distributions import Exponential
+from repro.errors import CompositionError
+from repro.planner import (
+    CostParameters,
+    load_cost_parameters,
+    plan_order,
+    save_cost_parameters,
+)
+from test_golden_regression import DDS_GOLDEN, RCS_GOLDEN
+
+
+def _trajectory(system):
+    return [
+        (
+            step.states_before_reduction,
+            step.transitions_before_reduction,
+            step.states_after_reduction,
+            step.transitions_after_reduction,
+            step.hidden_actions,
+            step.reduced,
+        )
+        for step in system.statistics.steps
+    ]
+
+
+def _small_dds(num_clusters: int = 2):
+    parameters = DDSParameters(num_clusters=num_clusters)
+    translated = translate_model(build_dds_model(parameters))
+    return translated, dds_composition_order(translated, parameters)
+
+
+class TestCachedPipelineIsBitIdentical:
+    @pytest.mark.parametrize("reduction", ["strong", "weak", "branching"])
+    def test_small_dds_trajectory_and_measures(self, reduction):
+        translated, order = _small_dds()
+        off = compose_model(translated, order=order, reduction=reduction)
+        on = compose_model(translated, order=order, reduction=reduction, cache="on")
+        assert _trajectory(on) == _trajectory(off)
+        assert on.ctmc.summary() == off.ctmc.summary()
+        assert steady_state_availability(on.ctmc) == steady_state_availability(off.ctmc)
+        assert on.statistics.cache_hits > 0
+
+    def test_hit_steps_record_saved_seconds_and_sizes(self):
+        translated, order = _small_dds()
+        system = compose_model(translated, order=order, cache="on")
+        hits = [step for step in system.statistics.steps if step.cache_hit]
+        assert hits, "the second cluster/controller set must hit"
+        for step in hits:
+            assert step.reduce_seconds == 0.0
+            assert step.saved_seconds >= 0.0
+            assert step.states_before_reduction > 0
+        assert system.statistics.cache_saved_seconds == pytest.approx(
+            sum(step.saved_seconds for step in hits)
+        )
+
+
+class TestCacheSharing:
+    def test_second_run_is_served_from_the_shared_cache(self):
+        translated, order = _small_dds()
+        cache = QuotientCache()
+        composer = Composer(translated, order=order, cache=cache)
+        first = composer.compose()
+        second = composer.compose()
+        assert _trajectory(second) == _trajectory(first)
+        # Every step of the re-run is a hit: the cache survives compose().
+        assert second.statistics.cache_hits == len(second.statistics.steps)
+
+    def test_evaluator_shares_the_cache_across_pipelines(self):
+        evaluator = build_dds_evaluator(DDSParameters(num_clusters=2), cache="on")
+        reference = build_dds_evaluator(DDSParameters(num_clusters=2))
+        assert evaluator.availability() == reference.availability()
+        assert evaluator.reliability(10.0) == reference.reliability(10.0)
+        assert evaluator.cache is not None
+        assert evaluator.cache.hits > 0
+        # Both the repairable and the no-repair pipeline used the same cache.
+        assert evaluator.composed.cache is evaluator.composed_without_repair.cache
+
+    def test_resolve_cache_policies(self):
+        assert resolve_cache(None) is None
+        assert resolve_cache("off") is None
+        assert isinstance(resolve_cache("on"), QuotientCache)
+        cache = QuotientCache()
+        assert resolve_cache(cache) is cache
+        with pytest.raises(ValueError):
+            resolve_cache("sometimes")
+
+
+@pytest.mark.slow
+class TestCachedGoldens:
+    """The pinned case-study numbers, with the cache enabled."""
+
+    def test_dds_golden_with_cache(self):
+        evaluator = build_dds_evaluator(cache="on")
+        assert evaluator.availability() == pytest.approx(
+            DDS_GOLDEN["availability"], rel=1e-12
+        )
+        statistics = evaluator.composed.statistics
+        assert evaluator.ctmc.num_states == DDS_GOLDEN["ctmc_states"]
+        assert evaluator.ctmc.num_transitions == DDS_GOLDEN["ctmc_transitions"]
+        assert (
+            statistics.largest_intermediate_states
+            == DDS_GOLDEN["largest_intermediate_states"]
+        )
+        assert len(statistics.steps) == DDS_GOLDEN["composition_steps"]
+        # 5 of 6 clusters and 1 of 2 controller sets are replicas: the cache
+        # must serve their whole subtrees.
+        assert statistics.cache_hits >= 20
+
+    def test_rcs_golden_with_cache(self):
+        modular = build_rcs_modular_evaluator(cache="on")
+        pumps = modular.evaluators["pumps"]
+        heat = modular.evaluators["heat_exchange"]
+        assert pumps.ctmc.num_states == RCS_GOLDEN["pump_ctmc_states"]
+        assert pumps.ctmc.num_transitions == RCS_GOLDEN["pump_ctmc_transitions"]
+        assert heat.ctmc.num_states == RCS_GOLDEN["heat_ctmc_states"]
+        assert heat.ctmc.num_transitions == RCS_GOLDEN["heat_ctmc_transitions"]
+        assert pumps.unavailability() == pytest.approx(
+            RCS_GOLDEN["pump_unavailability"], rel=1e-12
+        )
+        assert heat.unavailability() == pytest.approx(
+            RCS_GOLDEN["heat_unavailability"], rel=1e-12
+        )
+        assert modular.cache is not None and modular.cache.hits > 0
+
+    def test_dds_planned_order_with_cache_matches_golden(self):
+        evaluator = build_dds_evaluator(order="auto", cache="on")
+        assert evaluator.availability() == pytest.approx(
+            DDS_GOLDEN["availability"], abs=1e-9
+        )
+        assert evaluator.ctmc.num_states == DDS_GOLDEN["ctmc_states"]
+        assert evaluator.composed.statistics.cache_hits > 0
+
+
+def _independent_chain_model(size: int = 5) -> ArcadeModel:
+    """Independent components: intermediate reductions barely shrink."""
+    model = ArcadeModel(name="independent")
+    for index in range(size):
+        name = f"c{index}"
+        model.add_component(
+            BasicComponent(
+                name,
+                time_to_failures=Exponential(0.1 + 0.01 * index),
+                time_to_repairs=Exponential(1.0),
+            )
+        )
+        model.add_repair_unit(
+            RepairUnit(f"r{index}", [name], RepairStrategy.DEDICATED)
+        )
+    model.set_system_down(And([down(f"c{index}") for index in range(size)]))
+    return model
+
+
+class TestAdaptiveReductionPolicy:
+    def test_skips_low_yield_reductions_and_records_them(self):
+        translated = translate_model(_independent_chain_model())
+        always = compose_model(translated)
+        adaptive = compose_model(translated, reduce_policy="adaptive")
+        skipped = [step for step in adaptive.statistics.steps if not step.reduced]
+        assert skipped, "independent components must trigger adaptive skips"
+        assert all(step.skip_reason == "adaptive-low-yield" for step in skipped)
+        assert adaptive.statistics.reductions_skipped == len(skipped)
+        # Skipping intermediate reductions never changes the final chain.
+        assert adaptive.ctmc.summary() == always.ctmc.summary()
+        assert steady_state_availability(adaptive.ctmc) == steady_state_availability(
+            always.ctmc
+        )
+
+    def test_probe_limits_consecutive_skips(self):
+        translated = translate_model(_independent_chain_model(7))
+        adaptive = compose_model(translated, reduce_policy="adaptive")
+        consecutive = 0
+        for step in adaptive.statistics.steps:
+            consecutive = 0 if step.reduced else consecutive + 1
+            assert consecutive < 4, "the adaptive policy must probe periodically"
+
+    def test_size_override_forces_a_reduction(self):
+        translated = translate_model(_independent_chain_model())
+        limited = compose_model(
+            translated, reduce_policy="adaptive", adaptive_reduction_states=100
+        )
+        for step in limited.statistics.steps:
+            if not step.reduced:
+                assert step.states_before_reduction <= 100
+
+    def test_every_n_schedule_records_its_skips(self):
+        translated = translate_model(_independent_chain_model())
+        system = compose_model(translated, reduce_every_n=2)
+        skipped = [step for step in system.statistics.steps if not step.reduced]
+        assert skipped
+        assert all(step.skip_reason == "schedule" for step in skipped)
+
+    def test_unknown_policy_is_rejected(self):
+        translated = translate_model(_independent_chain_model(2))
+        with pytest.raises(CompositionError):
+            Composer(translated, reduce_policy="sometimes")
+
+
+class TestCostParameterPersistence:
+    def test_round_trip_and_planner_loading(self, tmp_path):
+        path = tmp_path / "cost-parameters-test.json"
+        parameters = CostParameters(sync_damping=0.42, hide_damping=0.84)
+        save_cost_parameters(path, parameters, family="test", source="unit-test")
+        assert load_cost_parameters(path) == parameters
+
+        translated, _ = _small_dds()
+        order_file, report_file = plan_order(translated, parameters=str(path))
+        order_direct, report_direct = plan_order(translated, parameters=parameters)
+        assert order_file == order_direct
+        assert (
+            report_file.predicted_peak_states == report_direct.predicted_peak_states
+        )
+
+    def test_composer_auto_accepts_parameter_files(self, tmp_path):
+        path = tmp_path / "cost-parameters-test.json"
+        save_cost_parameters(
+            path, CostParameters(0.7, 0.7), family="test"
+        )
+        translated, _ = _small_dds()
+        system = compose_model(translated, order="auto", plan_parameters=str(path))
+        assert system.plan_report is not None
+        assert system.ctmc.num_states > 0

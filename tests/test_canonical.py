@@ -1,0 +1,178 @@
+"""Canonical fingerprints and renaming witnesses (:mod:`repro.ioimc.canonical`).
+
+Hand-built isomorphic-but-relabelled automata must land on the same digest
+with a witness that genuinely maps one onto the other; anything that changes
+structure, kinds, rates or labels must change the digest.  The positional
+leaf form of :mod:`repro.composer.cache` is covered alongside, including its
+verification guard.
+"""
+
+import pytest
+
+from repro.composer.cache import QuotientCache, positional_form
+from repro.ioimc import (
+    IOIMC,
+    IOIMCBuilder,
+    Signature,
+    TAU,
+    canonical_form,
+    rebase_actions,
+    renaming_witness,
+)
+
+
+def _pump(fail: str, repair: str, rate: float = 0.25, *, name: str = "pump") -> IOIMC:
+    """A tiny repairable component: up --rate--> down --fail!--> wait --repair?--> up."""
+    builder = IOIMCBuilder(
+        name,
+        Signature.create(inputs={repair}, outputs={fail}),
+    )
+    builder.state("up", initial=True)
+    builder.markovian("up", rate, "down")
+    builder.interactive("down", fail, "wait")
+    builder.interactive("wait", repair, "up")
+    return builder.build()
+
+
+class TestCanonicalForm:
+    def test_relabelled_automata_share_a_digest(self):
+        a = _pump("p1.failed", "p1.repaired", name="p1")
+        b = _pump("p2.failed", "p2.repaired", name="p2")
+        fa, fb = canonical_form(a), canonical_form(b)
+        assert fa.digest == fb.digest
+        assert fa.num_states == b.num_states
+
+    def test_witness_maps_slot_for_slot(self):
+        a = _pump("p1.failed", "p1.repaired")
+        b = _pump("p2.failed", "p2.repaired")
+        witness = renaming_witness(canonical_form(a), canonical_form(b))
+        assert witness == {"p1.failed": "p2.failed", "p1.repaired": "p2.repaired"}
+
+    def test_rebase_through_witness_reproduces_the_target(self):
+        a = _pump("p1.failed", "p1.repaired")
+        b = _pump("p2.failed", "p2.repaired")
+        witness = renaming_witness(canonical_form(a), canonical_form(b))
+        rebased = rebase_actions(a, witness)
+        assert rebased.signature == b.signature
+        assert [sorted(row) for row in rebased.interactive] == [
+            sorted(row) for row in b.interactive
+        ]
+        assert rebased.markovian == b.markovian
+        assert canonical_form(rebased).digest == canonical_form(b).digest
+
+    def test_state_permutation_does_not_change_the_digest(self):
+        base = _pump("f", "r")
+        signature = Signature.create(inputs={"r"}, outputs={"f"})
+        # The same automaton (incl. the input-enabling self-loops the
+        # builder materialises) with states listed in a different order.
+        permuted = IOIMC(
+            "permuted",
+            signature,
+            3,
+            2,  # "up" is now state 2
+            [[("r", 2)], [("f", 0), ("r", 1)], [("r", 2)]],  # wait, down, up
+            [[], [], [(0.25, 1)]],
+        )
+        assert canonical_form(base).digest == canonical_form(permuted).digest
+
+    def test_rate_change_changes_the_digest(self):
+        assert (
+            canonical_form(_pump("f", "r", 0.25)).digest
+            != canonical_form(_pump("f", "r", 0.3)).digest
+        )
+
+    def test_kind_swap_changes_the_digest(self):
+        a = _pump("f", "r")
+        swapped = IOIMCBuilder(
+            "swapped", Signature.create(inputs={"f"}, outputs={"r"})
+        )
+        swapped.state("up", initial=True)
+        swapped.markovian("up", 0.25, "down")
+        swapped.interactive("down", "f", "wait")
+        swapped.interactive("wait", "r", "up")
+        assert canonical_form(a).digest != canonical_form(swapped.build()).digest
+
+    def test_labels_are_part_of_the_digest(self):
+        plain = _pump("f", "r")
+        builder = IOIMCBuilder("labelled", Signature.create(inputs={"r"}, outputs={"f"}))
+        builder.state("up", initial=True)
+        builder.markovian("up", 0.25, "down")
+        builder.state("down", labels={"down"})
+        builder.interactive("down", "f", "wait")
+        builder.interactive("wait", "r", "up")
+        assert canonical_form(plain).digest != canonical_form(builder.build()).digest
+
+    def test_structure_change_changes_the_digest(self):
+        builder = IOIMCBuilder("extra", Signature.create(inputs={"r"}, outputs={"f"}))
+        builder.state("up", initial=True)
+        builder.markovian("up", 0.25, "down")
+        builder.interactive("down", "f", "wait")
+        builder.interactive("wait", "r", "up")
+        builder.interactive("down", "f", "up")  # an extra edge
+        assert canonical_form(_pump("f", "r")).digest != canonical_form(builder.build()).digest
+
+    def test_tau_is_pinned_and_never_in_the_witness(self):
+        def with_tau(fail: str) -> IOIMC:
+            builder = IOIMCBuilder(
+                "t", Signature.create(outputs={fail}, internals={TAU})
+            )
+            builder.state("a", initial=True)
+            builder.interactive("a", TAU, "b")
+            builder.interactive("b", fail, "a")
+            return builder.build()
+
+        fa, fb = canonical_form(with_tau("x.f")), canonical_form(with_tau("y.f"))
+        assert fa.digest == fb.digest
+        assert fa.internal_names == (TAU,)
+        witness = renaming_witness(fa, fb)
+        assert witness == {"x.f": "y.f"}  # tau maps implicitly to itself
+
+    def test_no_witness_across_different_digests(self):
+        fa = canonical_form(_pump("f", "r", 0.25))
+        fb = canonical_form(_pump("f", "r", 0.5))
+        assert renaming_witness(fa, fb) is None
+
+    def test_rebase_rejects_non_injective_renames(self):
+        a = _pump("f", "r")
+        with pytest.raises(ValueError):
+            rebase_actions(a, {"f": "r"})
+
+
+class TestPositionalLeafForm:
+    def test_replicas_share_digest_and_aligned_slots(self):
+        a = _pump("p1.failed", "p1.repaired")
+        b = _pump("p2.failed", "p2.repaired")
+        digest_a, slots_a = positional_form(a)
+        digest_b, slots_b = positional_form(b)
+        assert digest_a == digest_b
+        assert dict(zip(slots_a, slots_b)) == {
+            "p1.failed": "p2.failed",
+            "p1.repaired": "p2.repaired",
+        }
+
+    def test_natural_name_alignment(self):
+        # Lexicographically "x10" < "x9", but the replicas must still pair
+        # index for index.
+        a = _pump("x9.f", "x9.r")
+        b = _pump("x10.f", "x10.r")
+        digest_a, slots_a = positional_form(a)
+        digest_b, slots_b = positional_form(b)
+        assert digest_a == digest_b
+        assert dict(zip(slots_a, slots_b)) == {"x9.f": "x10.f", "x9.r": "x10.r"}
+
+    def test_leaf_fingerprint_verifies_against_the_representative(self):
+        cache = QuotientCache()
+        fp_a = cache.leaf_fingerprint(_pump("p1.failed", "p1.repaired"))
+        fp_b = cache.leaf_fingerprint(_pump("p2.failed", "p2.repaired"))
+        assert fp_a is not None and fp_b is not None
+        assert fp_a.key == fp_b.key
+        assert fp_a.slots != fp_b.slots
+
+    def test_leaf_fingerprint_rejects_foreign_internals(self):
+        builder = IOIMCBuilder(
+            "internal", Signature.create(outputs={"f"}, internals={"step"})
+        )
+        builder.state("a", initial=True)
+        builder.interactive("a", "step", "b")
+        builder.interactive("b", "f", "a")
+        assert QuotientCache().leaf_fingerprint(builder.build()) is None
