@@ -87,6 +87,7 @@ class ArcadeEvaluator:
         plan_budget: int | None = None,
         plan_seed: int = 0,
         plan_parameters=None,
+        jobs: int = 1,
     ) -> None:
         self.model = model
         self.order = order
@@ -104,6 +105,9 @@ class ArcadeEvaluator:
         self.plan_budget = plan_budget
         self.plan_seed = plan_seed
         self.plan_parameters = plan_parameters
+        #: Worker processes for the composer's parallel subtree aggregation
+        #: (``1`` = serial; forwarded as ``Composer(jobs=...)``).
+        self.jobs = jobs
         self._translated: TranslatedModel | None = None
         self._composed: ComposedSystem | None = None
         self._composed_no_repair: ComposedSystem | None = None
@@ -136,6 +140,7 @@ class ArcadeEvaluator:
                 plan_budget=self.plan_budget,
                 plan_seed=self.plan_seed,
                 plan_parameters=self.plan_parameters,
+                jobs=self.jobs,
             )
         return self._composed
 
@@ -167,6 +172,7 @@ class ArcadeEvaluator:
                 plan_budget=self.plan_budget,
                 plan_seed=self.plan_seed,
                 plan_parameters=self.plan_parameters,
+                jobs=self.jobs,
             )
         return self._composed_no_repair
 

@@ -50,6 +50,7 @@ class ModularEvaluator:
         orders: dict[str, CompositionOrder] | None = None,
         reduction: str = "strong",
         cache=None,
+        jobs: int = 1,
     ) -> None:
         if not subsystems:
             raise ModelError("a modular evaluation needs at least one subsystem")
@@ -63,6 +64,9 @@ class ModularEvaluator:
         #: replicated structures recur *between* subsystems as well (the RCS
         #: pump lines), so the sharing compounds (``None`` = caching off).
         self.cache = resolve_cache(cache)
+        #: Worker processes forwarded to every subsystem evaluator's composer
+        #: (``1`` = serial).
+        self.jobs = jobs
         self._check_independence()
         for literal in system_down.atoms():
             if literal.component not in self.subsystems:
@@ -76,6 +80,7 @@ class ModularEvaluator:
                 order=self.orders.get(name),
                 reduction=reduction,
                 cache=self.cache,
+                jobs=jobs,
             )
             for name, model in self.subsystems.items()
         }

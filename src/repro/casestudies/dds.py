@@ -200,6 +200,7 @@ def build_dds_evaluator(
     reduction: str = "strong",
     order: str = "hierarchical",
     cache="off",
+    jobs: int = 1,
 ) -> ArcadeEvaluator:
     """Evaluator for the full compositional-aggregation pipeline on the DDS.
 
@@ -210,11 +211,12 @@ def build_dds_evaluator(
     quotient cache (``"on"``/``"off"`` or a shared
     :class:`~repro.composer.QuotientCache`): the six disk clusters are
     isomorphic up to signal renaming, so with the cache each replicated
-    subtree is composed and minimised once.
+    subtree is composed and minimised once.  ``jobs`` > 1 aggregates the
+    independent subsystem subtrees in parallel worker processes.
     """
     validate_order_choice(order)
     model = build_dds_model(parameters)
-    evaluator = ArcadeEvaluator(model, reduction=reduction, cache=cache)
+    evaluator = ArcadeEvaluator(model, reduction=reduction, cache=cache, jobs=jobs)
     if order == "hierarchical":
         evaluator.order = dds_composition_order(evaluator.translated, parameters)
     elif order == "auto":
@@ -358,6 +360,12 @@ def main(argv: list[str] | None = None) -> None:
         default=DDSParameters().disks_per_cluster,
         help="disks per cluster (paper: 4); scales the replicated subtrees",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for parallel subtree aggregation (1 = serial)",
+    )
     args = parser.parse_args(argv)
 
     parameters = DDSParameters(
@@ -365,13 +373,21 @@ def main(argv: list[str] | None = None) -> None:
     )
     started = time.perf_counter()
     evaluator = build_dds_evaluator(
-        parameters, reduction=args.reduction, order=args.order, cache=args.cache
+        parameters,
+        reduction=args.reduction,
+        order=args.order,
+        cache=args.cache,
+        jobs=args.jobs,
     )
     availability = evaluator.availability()
     reliability = evaluator.reliability(MISSION_TIME_HOURS)
     elapsed = time.perf_counter() - started
     statistics = evaluator.composed.statistics
-    print(f"DDS ({args.clusters} clusters), reduction={args.reduction}, order={args.order}")
+    jobs_note = f", jobs={args.jobs}" if args.jobs > 1 else ""
+    print(
+        f"DDS ({args.clusters} clusters), reduction={args.reduction}, "
+        f"order={args.order}{jobs_note}"
+    )
     if evaluator.composed.plan_report is not None:
         print(f"  {evaluator.composed.plan_report.summary()}")
     if evaluator.cache is not None:

@@ -306,6 +306,7 @@ def build_rcs_modular_evaluator(
     reduction: str = "strong",
     order: str = "hierarchical",
     cache="off",
+    jobs: int = 1,
 ) -> ModularEvaluator:
     """Modular evaluator of the full RCS (the paper's Section 5.2.2 analysis).
 
@@ -316,6 +317,8 @@ def build_rcs_modular_evaluator(
     or a shared :class:`~repro.composer.QuotientCache`) enables the
     isomorphism-aware quotient cache, shared across both subsystem
     evaluators — the two pump lines are isomorphic up to signal renaming.
+    ``jobs`` > 1 lets each subsystem composer aggregate its independent
+    subtrees in parallel worker processes.
     """
     validate_order_choice(order)
     p = parameters or RCSParameters()
@@ -326,7 +329,8 @@ def build_rcs_modular_evaluator(
     orders: dict[str, CompositionOrder] = {}
     system_down = Or([Literal("pumps", None), Literal("heat_exchange", None)])
     evaluator = ModularEvaluator(
-        subsystems, system_down, orders=orders, reduction=reduction, cache=cache
+        subsystems, system_down, orders=orders, reduction=reduction, cache=cache,
+        jobs=jobs,
     )
     if order == "hierarchical":
         evaluator.evaluators["pumps"].order = subsystem_order(
@@ -376,11 +380,17 @@ def main(argv: list[str] | None = None) -> None:
         help="isomorphism-aware quotient cache, shared across both subsystem "
         "evaluators (the pump lines are isomorphic up to signal renaming)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for parallel subtree aggregation (1 = serial)",
+    )
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
     modular = build_rcs_modular_evaluator(
-        reduction=args.reduction, order=args.order, cache=args.cache
+        reduction=args.reduction, order=args.order, cache=args.cache, jobs=args.jobs
     )
     pumps = modular.evaluators["pumps"]
     heat = modular.evaluators["heat_exchange"]
@@ -390,7 +400,10 @@ def main(argv: list[str] | None = None) -> None:
     )
     unreliability_50h = modular.unreliability(MISSION_TIME_HOURS)
     elapsed = time.perf_counter() - started
-    print(f"RCS (modular), reduction={args.reduction}, order={args.order}")
+    jobs_note = f", jobs={args.jobs}" if args.jobs > 1 else ""
+    print(
+        f"RCS (modular), reduction={args.reduction}, order={args.order}{jobs_note}"
+    )
     for name in ("pumps", "heat_exchange"):
         report = modular.evaluators[name].composed.plan_report
         if report is not None:

@@ -143,6 +143,12 @@ class QuotientCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Lifetime *net* savings: for every hit this cache ever served —
+        #: across all runs sharing it — the original computation's cost
+        #: minus the serve (rebase) time, floored at 0.  By construction
+        #: this equals the sum of the per-run
+        #: ``CompositionStatistics.cache_saved_seconds``, so the two reports
+        #: reconcile exactly however many runs share the instance.
         self.saved_seconds = 0.0
 
     def __len__(self) -> int:
@@ -292,6 +298,44 @@ class QuotientCache:
             plan.base, (states_before, transitions_before)
         )
         self.stores += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # merging (parallel subtree aggregation)
+    # ------------------------------------------------------------------ #
+    def merge_from(self, other: "QuotientCache") -> bool:
+        """Import a worker cache's entries and counters into this cache.
+
+        The parallel composer gives every worker a fresh cache and merges
+        them back in deterministic (spine) order, so duplicate subtrees the
+        dispatcher did not send out are served in the parent exactly as a
+        serial run would have served them.
+
+        Digest classes are anchored by their first representative.  Where
+        both caches know a digest, the two representatives are verified
+        isomorphic *before anything is imported*; a failed verification —
+        a cross-process digest collision — aborts the whole import (the
+        worker's step keys were derived from the colliding identity) and
+        returns ``False`` so the caller can drop the worker's fingerprint.
+        Entries already present keep the incumbent: first-stored witnesses
+        stay authoritative for later rebasing.
+        """
+        for digest, (candidate, candidate_slots) in other._leaf_representatives.items():
+            mine = self._leaf_representatives.get(digest)
+            if mine is not None and not _verified_isomorphic(
+                candidate, candidate_slots, mine[0], mine[1]
+            ):
+                return False
+        for digest, representative in other._leaf_representatives.items():
+            self._leaf_representatives.setdefault(digest, representative)
+        for key, entry in other._entries.items():
+            self._entries.setdefault(key, entry)
+        for base, sizes in other._before_sizes.items():
+            self._before_sizes.setdefault(base, sizes)
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.saved_seconds += other.saved_seconds
         return True
 
     # ------------------------------------------------------------------ #

@@ -28,6 +28,7 @@ rebased from the cache onto its concrete signal names (see
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -84,8 +85,15 @@ class CompositionStep:
     #: Served from the quotient cache: the recorded sizes reproduce the
     #: uncached trajectory, the timings are the (tiny) rebase cost.
     cache_hit: bool = False
-    #: Wall-clock the original computation of a hit step cost (0 on misses).
+    #: *Net* wall-clock a hit saved: the original computation's cost minus
+    #: the time spent serving (rebasing) the hit, floored at 0 (0 on
+    #: misses).  Summing these per run — and, on a shared cache, across
+    #: runs — reconciles exactly with ``QuotientCache.saved_seconds``.
     saved_seconds: float = 0.0
+    #: How many leaf blocks each operand of this step contained; a hit with
+    #: ``min(operand_blocks) > 1`` is an above-leaf (composite x composite
+    #: or composite x subtree) join served from the cache.
+    operand_blocks: tuple[int, int] = (1, 1)
     #: Why the reduction pipeline was skipped (``None`` when it ran):
     #: ``"schedule"`` for an off-cycle ``reduce_every_n`` step,
     #: ``"adaptive-low-yield"`` for the adaptive policy's skip decision.
@@ -103,6 +111,8 @@ class CompositionStatistics:
 
     steps: list[CompositionStep] = field(default_factory=list)
     final_reduce_seconds: float = 0.0
+    #: Worker-pool size the run used (1 = fully serial).
+    jobs: int = 1
 
     def record(self, step: CompositionStep) -> None:
         self.steps.append(step)
@@ -141,7 +151,8 @@ class CompositionStatistics:
 
     @property
     def cache_saved_seconds(self) -> float:
-        """Wall-clock the cache hits saved (sum of original step costs)."""
+        """Net wall-clock this run's cache hits saved (original cost minus
+        the serve time, per hit)."""
         return sum(step.saved_seconds for step in self.steps if step.cache_hit)
 
     @property
@@ -249,6 +260,17 @@ class Composer:
         file persisted by :func:`repro.planner.save_cost_parameters` (e.g.
         the per-family files the benchmarks export).  ``None`` uses the
         built-in DDS/RCS-fitted defaults.
+    jobs:
+        Worker-pool size for parallel subtree aggregation.  With ``jobs >
+        1`` the independent nested groups of the composition order (the
+        affinity-group subtrees) are composed, hidden and reduced in a
+        :class:`~concurrent.futures.ProcessPoolExecutor`, their statistics
+        and cache entries merged back, and only the left-deep join spine
+        runs serially — bit-identical to the serial run (see
+        ``docs/architecture.md``).  Only the ``"always"`` reduce policy
+        parallelises (the sparse schedules are stateful across the whole
+        step sequence); other policies, flat orders, and single-subtree
+        orders fall back to the serial path.
     """
 
     def __init__(
@@ -266,6 +288,7 @@ class Composer:
         plan_budget: int | None = None,
         plan_seed: int = 0,
         plan_parameters: "CostParameters | str | None" = None,
+        jobs: int = 1,
     ) -> None:
         if reduction not in REDUCTION_MODES:
             raise CompositionError(
@@ -275,6 +298,8 @@ class Composer:
             raise CompositionError(
                 f"reduce_every_n must be >= 1, got {reduce_every_n}"
             )
+        if jobs < 1:
+            raise CompositionError(f"jobs must be >= 1, got {jobs}")
         if reduce_policy is None:
             reduce_policy = "every_n" if reduce_every_n > 1 else "always"
         if reduce_policy not in REDUCE_POLICIES:
@@ -311,6 +336,8 @@ class Composer:
         #: Size override: when set, a skipped step is reduced anyway as soon
         #: as the intermediate product exceeds this many states.
         self.adaptive_reduction_states = adaptive_reduction_states
+        #: Worker-pool size for parallel subtree aggregation (1 = serial).
+        self.jobs = jobs
         self.statistics = CompositionStatistics()
         self._composed_blocks: set[str] = set()
         self._steps_since_reduction = 0
@@ -334,7 +361,10 @@ class Composer:
         # accumulate steps/timings across invocations.  (The quotient cache,
         # in contrast, deliberately survives re-runs.)
         self.statistics = CompositionStatistics()
-        system, _, _ = self._compose_group(order)
+        if self.jobs > 1 and self.reduce_policy == "always":
+            system, _, _ = self._compose_parallel(order)
+        else:
+            system, _, _ = self._compose_group(order)
         missing = set(self.translated.blocks) - self._composed_blocks
         if missing:
             raise CompositionError(
@@ -368,8 +398,13 @@ class Composer:
                 keywords["parameters"] = self.plan_parameters
             if self.cache is not None:
                 # Let the search price the 2nd..N-th copy of an isomorphic
-                # sibling group at ~0: the cache will serve them.
+                # sibling group at ~0 (the cache will serve them), and hand
+                # the cache itself over so folds it already stores — from a
+                # shared pre-warmed cache — discount the *first* copy too.
                 keywords["cache_aware"] = True
+                keywords["cache"] = self.cache
+                keywords["reduction"] = self.reduction
+                keywords["eliminate_vanishing"] = self.eliminate_vanishing
             order, self.plan_report = plan_order(
                 self.translated, seed=self.plan_seed, **keywords
             )
@@ -447,16 +482,180 @@ class Composer:
         composite, blocks, fingerprint = self._compose_group(members[0])
         for member in members[1:]:
             block, member_blocks, block_fingerprint = self._compose_group(member)
+            operand_blocks = (len(blocks), len(member_blocks))
             blocks |= member_blocks
             composite, fingerprint = self._step(
-                composite, fingerprint, block, block_fingerprint, blocks
+                composite, fingerprint, block, block_fingerprint, blocks, operand_blocks
             )
             # Keep the running composite's name short; the full history is in
-            # the recorded statistics.
-            composite = composite.renamed(
-                f"composite[{len(self._composed_blocks)} blocks]"
-            )
+            # the recorded statistics.  The count is *local* to this subtree
+            # (not the global composed-block tally), so a subtree composed in
+            # a worker process names its steps identically to a serial run.
+            composite = composite.renamed(f"composite[{len(blocks)} blocks]")
         return composite, blocks, fingerprint
+
+    # ------------------------------------------------------------------ #
+    # parallel subtree aggregation
+    # ------------------------------------------------------------------ #
+    def _compose_parallel(
+        self, order: CompositionOrder
+    ) -> tuple[IOIMC, frozenset[str], SubtreeFingerprint | None]:
+        """Compose the order's independent subtrees in a process pool.
+
+        The left-deep spine of the nested order is unrolled into its
+        top-level items (see :func:`_spine_items`); every non-leaf item is a
+        self-contained subtree — its hiding schedule depends only on its own
+        blocks and the full-model listener table — so the subtrees can be
+        composed, hidden and reduced concurrently and joined serially
+        afterwards, reproducing the serial run bit for bit.  With the cache
+        on, only one representative per structural task class is dispatched;
+        duplicate subtrees recompose in the parent through the ordinary
+        cached path (every step a verified hit) after the worker caches have
+        been merged, which also reproduces the serial hit pattern.
+        """
+        items = _spine_items(order)
+        tasks = [
+            (index, item)
+            for index, item in enumerate(items)
+            if not isinstance(item, str)
+        ]
+        if len(tasks) < 2:
+            return self._compose_group(order)
+        dispatch: list[tuple[int, CompositionOrder]] = []
+        if self.cache is not None:
+            seen: set = set()
+            for index, item in tasks:
+                key = self._task_key(item)
+                if key is not None:
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                dispatch.append((index, item))
+        else:
+            dispatch = tasks
+        if len(dispatch) < 2:
+            return self._compose_group(order)
+
+        workers = min(self.jobs, len(dispatch))
+        self.statistics.jobs = workers
+        results: dict[int, _SubtreeResult] = {}
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (
+                    index,
+                    pool.submit(
+                        _compose_subtree_worker,
+                        (
+                            self._subtree_translated(item),
+                            item,
+                            self.reduction,
+                            self.eliminate_vanishing,
+                            self.cache is not None,
+                        ),
+                    ),
+                )
+                for index, item in dispatch
+            ]
+            for index, future in futures:
+                results[index] = future.result()
+
+        # Merge the worker caches in item order — not completion order — so
+        # the parent cache's contents and counters are deterministic across
+        # runs and worker counts.
+        if self.cache is not None:
+            for index in sorted(results):
+                result = results[index]
+                if result.cache is not None and not self.cache.merge_from(
+                    result.cache
+                ):
+                    # A cross-process digest collision failed verification:
+                    # the worker's entries were not imported, and no
+                    # descendant key may be derived from its identity.
+                    result.fingerprint = None
+
+        composite: IOIMC | None = None
+        fingerprint: SubtreeFingerprint | None = None
+        blocks: frozenset[str] = frozenset()
+        for index, item in enumerate(items):
+            result = results.get(index)
+            if result is not None:
+                duplicates = self._composed_blocks & result.blocks
+                if duplicates:
+                    raise CompositionError(
+                        f"block {sorted(duplicates)[0]!r} appears twice in the "
+                        "composition order"
+                    )
+                self._composed_blocks |= result.blocks
+                self.statistics.steps.extend(result.steps)
+                part, part_blocks, part_fingerprint = (
+                    result.ioimc,
+                    result.blocks,
+                    result.fingerprint,
+                )
+            else:
+                part, part_blocks, part_fingerprint = self._compose_group(item)
+            if composite is None:
+                composite, blocks, fingerprint = part, part_blocks, part_fingerprint
+                continue
+            operand_blocks = (len(blocks), len(part_blocks))
+            blocks |= part_blocks
+            composite, fingerprint = self._step(
+                composite, fingerprint, part, part_fingerprint, blocks, operand_blocks
+            )
+            composite = composite.renamed(f"composite[{len(blocks)} blocks]")
+        assert composite is not None  # len(items) >= 2 here
+        return composite, blocks, fingerprint
+
+    def _task_key(self, item: "CompositionOrder | str"):
+        """Structural identity of one subtree task (leaf digests + shape).
+
+        ``None`` disables deduplication for subtrees containing a leaf the
+        cache cannot fingerprint.  The key is a dispatch heuristic only:
+        falsely merged tasks cannot corrupt anything (the "duplicate"
+        recomposes in the parent through the verified cache path, missing
+        where its steps differ), a false split merely costs a redundant
+        worker.
+        """
+        if isinstance(item, str):
+            block = self.translated.blocks.get(item)
+            if block is None:
+                raise CompositionError(f"unknown block {item!r} in composition order")
+            fingerprint = self.cache.leaf_fingerprint(block)
+            return None if fingerprint is None else fingerprint.key
+        parts = []
+        for member in item:
+            key = self._task_key(member)
+            if key is None:
+                return None
+            parts.append(key)
+        return tuple(parts)
+
+    def _subtree_translated(self, item: CompositionOrder) -> TranslatedModel:
+        """The restricted model one worker composes against.
+
+        Carries only the subtree's blocks, but the *full model's* listener
+        table — a signal observed outside the subtree must stay open until
+        the join, exactly as in the serial composer's hiding rule.
+        """
+        blocks: dict[str, IOIMC] = {}
+        for name in _flatten_names(item):
+            block = self.translated.blocks.get(name)
+            if block is None:
+                raise CompositionError(f"unknown block {name!r} in composition order")
+            blocks[name] = block
+        listener_table: dict[str, frozenset[str]] = {}
+        for block in blocks.values():
+            for action in block.signature.all_actions:
+                listeners = self.translated.listeners_of(action)
+                if listeners:
+                    listener_table[action] = listeners
+        return TranslatedModel(
+            model=None,  # workers never consult the Arcade source model
+            blocks=blocks,
+            top_gate="",
+            gates={},
+            _listener_table=listener_table,
+        )
 
     def _step(
         self,
@@ -465,6 +664,7 @@ class Composer:
         right: IOIMC,
         right_fingerprint: SubtreeFingerprint | None,
         blocks: frozenset[str],
+        operand_blocks: tuple[int, int] = (1, 1),
     ) -> tuple[IOIMC, SubtreeFingerprint | None]:
         """One binary step: compose, hide, reduce — or serve it from the cache."""
         description = f"{left.name} || {right.name}"
@@ -516,8 +716,15 @@ class Composer:
                 composite = rebase_actions(entry.automaton, rename, name=description)
             else:
                 composite = entry.automaton.renamed(description)
+            # Net savings: what the original computation cost minus what
+            # serving the hit just cost.  ``QuotientCache.saved_seconds``
+            # accumulates exactly these per-hit amounts, so the lifetime
+            # counter of a shared cache equals the sum of the per-run
+            # ``cache_saved_seconds`` — the two reports cannot drift apart.
+            serve_seconds = time.perf_counter() - compose_started
+            saved_seconds = max(entry.cost_seconds - serve_seconds, 0.0)
             cache.hits += 1
-            cache.saved_seconds += entry.cost_seconds
+            cache.saved_seconds += saved_seconds
             step = CompositionStep(
                 description=description,
                 states_before_reduction=entry.states_before,
@@ -525,11 +732,12 @@ class Composer:
                 states_after_reduction=entry.states_after,
                 transitions_after_reduction=entry.transitions_after,
                 hidden_actions=tuple(hidable),
-                compose_seconds=time.perf_counter() - compose_started,
+                compose_seconds=serve_seconds,
                 reduce_seconds=0.0,
                 reduced=should_reduce,
                 cache_hit=True,
-                saved_seconds=entry.cost_seconds,
+                saved_seconds=saved_seconds,
+                operand_blocks=operand_blocks,
                 skip_reason=skip_reason,
             )
             self._note_reduction(should_reduce, entry.states_before, entry.states_after)
@@ -567,6 +775,7 @@ class Composer:
             compose_seconds=compose_seconds,
             reduce_seconds=reduce_seconds,
             reduced=should_reduce,
+            operand_blocks=operand_blocks,
             skip_reason=skip_reason,
         )
         self._note_reduction(should_reduce, before["states"], after["states"])
@@ -648,6 +857,83 @@ class Composer:
         return automaton
 
 
+def _flatten_names(item: "CompositionOrder | str") -> list[str]:
+    """Block names of a (possibly nested) order item, in composition sequence."""
+    if isinstance(item, str):
+        return [item]
+    names: list[str] = []
+    for member in item:
+        names.extend(_flatten_names(member))
+    return names
+
+
+def _spine_items(order: CompositionOrder) -> list:
+    """Unroll a left-deep nested order into its top-level spine items.
+
+    The composer's fold of ``[prev, nested, *gates]`` is equivalent to
+    walking ``_spine_items(prev) + [nested, *gates]`` left to right: hiding
+    decisions depend only on the accumulated block set, which grows
+    identically either way.  A leading run of leaf names (the first
+    subsystem group of a hierarchical order) is kept together as one item
+    so it can be dispatched as a subtree of its own.
+    """
+    items = list(order)
+    if not items:
+        raise CompositionError("empty group in composition order")
+    first = items[0]
+    if isinstance(first, str):
+        split = 1
+        while split < len(items) and isinstance(items[split], str):
+            split += 1
+        head = first if split == 1 else items[:split]
+        return [head] + items[split:]
+    return _spine_items(first) + items[1:]
+
+
+@dataclass
+class _SubtreeResult:
+    """What one worker sends back for its subtree."""
+
+    ioimc: IOIMC
+    blocks: frozenset
+    fingerprint: SubtreeFingerprint | None
+    steps: tuple
+    cache: QuotientCache | None
+
+
+def _compose_subtree_worker(payload) -> _SubtreeResult:
+    """Process-pool entry point: compose one independent subtree.
+
+    The payload carries a restricted :class:`TranslatedModel` (the subtree's
+    blocks plus the full-model listener table) and the reduction settings.
+    The worker runs the ordinary serial fold — against a fresh cache when
+    the parent run caches, so within-subtree replicas still hit — and
+    returns the composite, its per-step statistics and the cache for the
+    parent to merge.
+    """
+    translated, item, reduction, eliminate_vanishing, use_cache = payload
+    composer = Composer(
+        translated,
+        order=item,
+        reduction=reduction,
+        eliminate_vanishing=eliminate_vanishing,
+        cache="on" if use_cache else None,
+    )
+    ioimc, blocks, fingerprint = composer._compose_group(item)
+    cache = composer.cache
+    if cache is not None:
+        # The leaf-fingerprint memo is keyed by object identity, which is
+        # meaningless across a process boundary; drop it from the payload.
+        cache._leaf_fingerprints.clear()
+    return _SubtreeResult(
+        ioimc=ioimc,
+        blocks=blocks,
+        fingerprint=fingerprint,
+        steps=tuple(composer.statistics.steps),
+        cache=cache,
+    )
+
+
 def compose_model(
     translated: TranslatedModel,
     *,
@@ -662,6 +948,7 @@ def compose_model(
     plan_budget: int | None = None,
     plan_seed: int = 0,
     plan_parameters: "CostParameters | str | None" = None,
+    jobs: int = 1,
 ) -> ComposedSystem:
     """One-call wrapper around :class:`Composer`.
 
@@ -685,6 +972,7 @@ def compose_model(
         plan_budget=plan_budget,
         plan_seed=plan_seed,
         plan_parameters=plan_parameters,
+        jobs=jobs,
     )
     return composer.compose()
 

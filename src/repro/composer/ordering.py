@@ -127,7 +127,11 @@ def hierarchical_order(
         The translated model (provides the block signatures and gate list).
     leaf_groups:
         Ordered groups of *non-gate* block names (components, repair units,
-        spare management units).  Together the groups must cover every
+        spare management units).  Group entries may themselves be nested
+        sequences — e.g. the balanced pairs of isomorphic siblings the
+        cache-aware planner emits — which are carried into the resulting
+        order verbatim, so the pair is composed (and reduced) before it
+        joins the group's fold.  Together the groups must cover every
         non-gate block exactly once; the fault-tree gates created by the
         translator are inserted automatically.
     """
@@ -137,7 +141,7 @@ def hierarchical_order(
 
     covered: set[str] = set()
     for group in leaf_groups:
-        for name in group:
+        for name in flatten_order(list(group)):
             if name not in blocks:
                 raise CompositionError(f"unknown block {name!r} in subsystem decomposition")
             if name in gate_names:
@@ -163,7 +167,7 @@ def hierarchical_order(
     unassigned = set(gate_names)
     order: CompositionOrder | None = None
     for group in leaf_groups:
-        group_set = set(group)
+        group_set = set(flatten_order(list(group)))
         cumulative |= group_set
         inner_gates = scheduler.ready_gates(unassigned, group_set)
         unassigned -= set(inner_gates)

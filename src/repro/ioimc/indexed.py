@@ -413,5 +413,18 @@ class TransitionIndex:
         """Size statistics (mirrors :meth:`repro.ioimc.IOIMC.summary`)."""
         return self.automaton.summary()
 
+    def __reduce__(self):
+        # A standalone pickle of an index rides on its automaton: the
+        # automaton serialises its authoritative tables (see
+        # ``IOIMC.__getstate__``) and ``index()`` reattaches an equivalent
+        # index on the other side — keeping the automaton<->index backref a
+        # single shared pair instead of two disconnected copies.
+        return (_index_of, (self.automaton,))
+
+
+def _index_of(automaton) -> TransitionIndex:
+    """Unpickling helper: the (possibly freshly rebuilt) index of an automaton."""
+    return automaton.index()
+
 
 __all__ = ["InteractiveCSR", "MarkovianCSR", "TransitionIndex"]

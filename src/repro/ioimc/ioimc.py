@@ -565,6 +565,61 @@ class IOIMC:
         return clone
 
     # ------------------------------------------------------------------ #
+    # pickling
+    # ------------------------------------------------------------------ #
+    # An automaton crosses process boundaries (the composer's worker pool)
+    # in whichever of its two representations is authoritative: the Python
+    # row tables when no index was ever built, or the flat CSR arrays when
+    # one was.  Lazy caches (materialised rows, predecessor tables,
+    # transition counts) are never serialised — they are cheap to rebuild
+    # and would multiply the payload.  The lazy-row invariant survives by
+    # construction: a CSR-path automaton unpickles with rows ``None`` and an
+    # index whose Markovian CSR is explicit (materialised here if need be).
+
+    def __getstate__(self) -> dict:
+        state = {
+            "name": self.name,
+            "signature": self.signature,
+            "num_states": self.num_states,
+            "initial": self.initial,
+            "labels": self.labels,
+            "state_names": self.state_names,
+        }
+        index = self._index
+        if index is None:
+            state["interactive"] = self._interactive
+            state["markovian"] = self._markovian
+        else:
+            icsr = index.interactive_csr
+            mcsr = index.markovian_csr()
+            state["interactive_csr"] = (icsr.indptr, icsr.source, icsr.action, icsr.target)
+            state["markovian_csr"] = (mcsr.indptr, mcsr.source, mcsr.rate, mcsr.target)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.signature = state["signature"]
+        self.num_states = state["num_states"]
+        self.initial = state["initial"]
+        self.labels = state["labels"]
+        self.state_names = state["state_names"]
+        self._transition_counts = None
+        if "interactive_csr" in state:
+            from .indexed import InteractiveCSR, MarkovianCSR, TransitionIndex
+
+            self._interactive = None
+            self._markovian = None
+            self._index = TransitionIndex.from_tables(
+                self,
+                InteractiveCSR(*state["interactive_csr"]),
+                MarkovianCSR(*state["markovian_csr"]),
+            )
+        else:
+            self._interactive = state["interactive"]
+            self._markovian = state["markovian"]
+            self._index = None
+
+    # ------------------------------------------------------------------ #
     # dunder helpers
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from ..arcade.semantics import TranslatedModel
 from ..composer import CompositionOrder, hierarchical_order
+from ..composer.cache import QuotientCache
 from ..composer.ordering import GateScheduler
 from .costmodel import CostModel, CostParameters, resolve_cost_parameters
 from .search import (
@@ -39,7 +40,9 @@ from .search import (
     gate_tree_group_order,
     group_isomorphism_classes,
     order_group_by_cost,
+    pair_replicated_members,
     score_groups,
+    warm_fold_keys,
 )
 
 #: Default search budget, in candidate-order evaluations.  Sized so that
@@ -90,6 +93,9 @@ def plan_order(
     cost_model: CostModel | None = None,
     parameters: "CostParameters | str | None" = None,
     cache_aware: bool = False,
+    cache: "QuotientCache | None" = None,
+    reduction: str = "strong",
+    eliminate_vanishing: bool = True,
 ) -> tuple[CompositionOrder, PlanReport]:
     """Search for a good composition order for ``translated``.
 
@@ -117,8 +123,21 @@ def plan_order(
     cache_aware:
         Price the internal fold of the second-through-N-th copy of an
         isomorphic sibling group at ~0 — the composer's quotient cache will
-        serve those copies.  ``Composer(order="auto", cache=...)`` sets this
-        automatically.
+        serve those copies.  Also folds each group's run of isomorphic
+        members into balanced nested pairs
+        (:func:`~repro.planner.search.pair_replicated_members`), so
+        within-group sibling pairs and above-leaf joins become cacheable.
+        ``Composer(order="auto", cache=...)`` sets this automatically.
+    cache:
+        The composer's actual :class:`~repro.composer.cache.QuotientCache`,
+        when one exists.  With ``cache_aware`` set, its stored keys are
+        consulted (:func:`~repro.planner.search.warm_fold_keys`) so the
+        *first* copy of a group a pre-warmed shared cache already holds is
+        priced ~free too — not just the later replicas.
+    reduction / eliminate_vanishing:
+        The composer's reduction settings; they parameterise the cache
+        result keys the warm-fold check looks up.  Ignored without a
+        ``cache``.
 
     Returns
     -------
@@ -144,6 +163,17 @@ def plan_order(
     groups = [
         order_group_by_cost(model, group) for group in affinity_groups(translated)
     ]
+    warm_folds: frozenset[tuple[str, ...]] = frozenset()
+    if cache_aware and cache is not None:
+        warm_folds = warm_fold_keys(
+            translated,
+            scheduler,
+            model,
+            groups,
+            cache,
+            reduction=reduction,
+            eliminate_vanishing=eliminate_vanishing,
+        )
     if len(groups) > 1:
         # Isomorphic sibling groups (the replicated subsystems) collapse the
         # beam's branching: only one representative per class is tried at
@@ -157,6 +187,7 @@ def plan_order(
             width=beam_width,
             iso_classes=iso_classes,
             cache_aware=cache_aware,
+            warm_folds=warm_folds,
         )
         # Second candidate: chain the groups along a depth-first walk of the
         # fault tree (the structure of the paper's hand-written orders),
@@ -166,7 +197,9 @@ def plan_order(
             tuple(groups[index])
             for index in gate_tree_group_order(scheduler, groups)
         )
-        tree_cost = score_groups(model, scheduler, tree_groups, cache_aware=cache_aware)
+        tree_cost = score_groups(
+            model, scheduler, tree_groups, cache_aware=cache_aware, warm_folds=warm_folds
+        )
         explored += 1
         if (tree_cost.peak, tree_cost.total) < best.score:
             best = SearchResult(groups=tree_groups, cost=tree_cost, explored=explored)
@@ -181,7 +214,9 @@ def plan_order(
     greedy_groups = tuple(
         (name,) for name in greedy_order if name not in scheduler.gate_names
     )
-    greedy_cost = score_groups(model, scheduler, greedy_groups, cache_aware=cache_aware)
+    greedy_cost = score_groups(
+        model, scheduler, greedy_groups, cache_aware=cache_aware, warm_folds=warm_folds
+    )
     explored += 1
     if (greedy_cost.peak, greedy_cost.total) < best.score:
         best = SearchResult(groups=greedy_groups, cost=greedy_cost, explored=explored)
@@ -196,6 +231,7 @@ def plan_order(
             iterations=annealing_iterations,
             rng=rng,
             cache_aware=cache_aware,
+            warm_folds=warm_folds,
         )
         explored += annealed_explored
         # The cost model is a ranking device, not a measurement: near-ties
@@ -206,7 +242,16 @@ def plan_order(
         if annealed.cost.peak < _ANNEALING_MARGIN * best.cost.peak:
             best = annealed
 
-    order = hierarchical_order(translated, [list(group) for group in best.groups])
+    # Materialise.  Under cache-aware planning the runs of isomorphic members
+    # inside every group are folded as balanced nested pairs (mirroring the
+    # translator's balanced gate trees), so sibling pairs — and the joins of
+    # pairs of pairs — become cache-served steps above the leaf level.
+    leaf_groups: list[list] = [list(group) for group in best.groups]
+    if cache_aware:
+        leaf_groups = [
+            pair_replicated_members(model, group) for group in leaf_groups
+        ]
+    order = hierarchical_order(translated, leaf_groups)
     report = PlanReport(
         predicted_peak_states=best.cost.peak,
         predicted_total_states=best.cost.total,

@@ -63,6 +63,19 @@ def pytest_addoption(parser):
         default=False,
         help="run the differential cross-validation suite (tests/differential/)",
     )
+    parser.addoption(
+        "--compose-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the differential suite's compositional "
+        "pipelines (exercises the parallel subtree aggregation; 1 = serial)",
+    )
+
+
+@pytest.fixture(scope="session")
+def compose_jobs(request):
+    """The ``--compose-jobs`` value, for suites that parameterise over it."""
+    return request.config.getoption("--compose-jobs")
 
 
 def pytest_configure(config):

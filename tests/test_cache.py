@@ -106,6 +106,33 @@ class TestCacheSharing:
         # Both the repairable and the no-repair pipeline used the same cache.
         assert evaluator.composed.cache is evaluator.composed_without_repair.cache
 
+    def test_saved_seconds_reconcile_with_per_run_statistics(self):
+        """Lifetime vs per-run savings agree (the double-counting bugfix).
+
+        ``QuotientCache.saved_seconds`` is the *lifetime net* savings of the
+        cache — for every hit, the stored entry's original cost minus the
+        time spent serving the hit — and ``cache_saved_seconds`` is the same
+        quantity per compose() run, so across any number of runs sharing one
+        cache the lifetime total is exactly the sum of the per-run totals.
+        """
+        translated, order = _small_dds()
+        cache = QuotientCache()
+        composer = Composer(translated, order=order, cache=cache)
+        first = composer.compose()
+        second = composer.compose()
+        per_run = (
+            first.statistics.cache_saved_seconds
+            + second.statistics.cache_saved_seconds
+        )
+        assert cache.saved_seconds == pytest.approx(per_run)
+        assert cache.summary()["saved_seconds"] == round(cache.saved_seconds, 4)
+        # Net semantics: a hit can never be booked as saving more than the
+        # stored entry originally cost.
+        for system in (first, second):
+            for step in system.statistics.steps:
+                if step.cache_hit:
+                    assert step.saved_seconds >= 0.0
+
     def test_resolve_cache_policies(self):
         assert resolve_cache(None) is None
         assert resolve_cache("off") is None

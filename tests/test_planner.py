@@ -232,3 +232,105 @@ class TestAutoEndToEnd:
         # Hand-written hierarchical order peaks at 16,128 (pinned history);
         # the planner's order stays below it.
         assert peak <= 16_128
+
+
+class TestWarmCachePricing:
+    """Cache-aware pricing must consult the cache's *stored keys*.
+
+    A plain cache-aware search discounts only the 2nd..N-th isomorphic copy
+    of a group: it assumes an empty cache.  When planning against a
+    pre-warmed shared cache the first copy is served too, so
+    :func:`warm_fold_keys` detects fully stored group folds and the scoring
+    discounts them on first use as well.
+    """
+
+    def _warm_setup(self):
+        from repro.composer import compose_model
+        from repro.planner.costmodel import resolve_cost_parameters
+        from repro.planner.search import order_group_by_cost
+
+        translated = translate_model(build_dds_model(DDSParameters(num_clusters=2)))
+        warmed = compose_model(translated, order="auto", cache="on")
+        model = CostModel(translated, resolve_cost_parameters(None))
+        scheduler = GateScheduler(translated)
+        groups = [
+            order_group_by_cost(model, group)
+            for group in affinity_groups(translated)
+        ]
+        return translated, warmed.cache, model, scheduler, groups
+
+    def test_warm_folds_detected_on_a_warmed_cache(self):
+        from repro.planner.search import warm_fold_keys
+
+        translated, cache, model, scheduler, groups = self._warm_setup()
+        warm = warm_fold_keys(
+            translated, scheduler, model, groups, cache,
+            reduction="strong", eliminate_vanishing=True,
+        )
+        assert warm, "a fully warmed cache must mark some group folds warm"
+        # An empty cache (or none) marks nothing.
+        from repro.composer import QuotientCache
+
+        for empty in (QuotientCache(), None):
+            assert warm_fold_keys(
+                translated, scheduler, model, groups, empty,
+                reduction="strong", eliminate_vanishing=True,
+            ) == frozenset()
+
+    def test_warm_folds_lower_the_cache_aware_score(self):
+        from repro.planner.search import score_groups, warm_fold_keys
+
+        translated, cache, model, scheduler, groups = self._warm_setup()
+        warm = warm_fold_keys(
+            translated, scheduler, model, groups, cache,
+            reduction="strong", eliminate_vanishing=True,
+        )
+        chain = tuple(tuple(group) for group in groups)
+        cold = score_groups(model, scheduler, chain, cache_aware=True)
+        warmed = score_groups(
+            model, scheduler, chain, cache_aware=True, warm_folds=warm
+        )
+        assert warmed.total < cold.total
+
+    def test_mismatched_reduction_mode_stays_cold(self):
+        """Stored keys are mode-specific: a cache warmed under strong
+        reduction prices nothing for a branching-reduction plan."""
+        from repro.planner.search import warm_fold_keys
+
+        translated, cache, model, scheduler, groups = self._warm_setup()
+        assert warm_fold_keys(
+            translated, scheduler, model, groups, cache,
+            reduction="branching", eliminate_vanishing=True,
+        ) == frozenset()
+
+
+class TestPairedReplicatedMembers:
+    def test_pairing_preserves_leaves_and_balances_runs(self):
+        from repro.composer import flatten_order as flatten
+        from repro.planner.costmodel import resolve_cost_parameters
+        from repro.planner.search import pair_replicated_members
+
+        translated = translate_model(build_dds_model(DDSParameters(num_clusters=2)))
+        model = CostModel(translated, resolve_cost_parameters(None))
+        for group in affinity_groups(translated):
+            paired = pair_replicated_members(model, group)
+            assert flatten(paired) == list(group)
+        # A disk cluster: four isomorphic disks pair into a balanced tree.
+        cluster = next(
+            group for group in affinity_groups(translated) if "d_1" in group
+        )
+        paired = pair_replicated_members(model, cluster)
+        assert any(not isinstance(entry, str) for entry in paired)
+
+    def test_auto_order_with_cache_contains_nested_pairs(self):
+        translated = translate_model(build_dds_model(DDSParameters(num_clusters=2)))
+        composer = Composer(translated, order="auto", cache="on")
+        order = composer._resolve_order()
+
+        def max_depth(item):
+            if isinstance(item, str):
+                return 0
+            return 1 + max(max_depth(child) for child in item)
+
+        # Balanced pairs add nesting beyond the plain group-chain depth.
+        assert max_depth(order) >= 3
