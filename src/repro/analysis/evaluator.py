@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..arcade.model import ArcadeModel
 from ..arcade.semantics import TranslatedModel, translate_model
 from ..composer import (
@@ -33,6 +35,13 @@ from ..ctmc import (
     steady_state_availability,
     steady_state_unavailability,
     unreliability,
+)
+from ..errors import ModelError
+from ..simulation import (
+    ConfidenceInterval,
+    RestartSimulator,
+    VectorisedSimulator,
+    batch_means,
 )
 
 
@@ -88,7 +97,29 @@ class ArcadeEvaluator:
         plan_seed: int = 0,
         plan_parameters=None,
         jobs: int = 1,
+        backend: str = "compose",
+        sim_seed: int = 0,
+        sim_horizon: float = 10_000.0,
+        sim_replications: int = 4096,
+        sim_rel_error: float | None = None,
+        sim_splitting: int = 4,
+        sim_burn_in: float | None = None,
+        sim_confidence: float = 0.99,
     ) -> None:
+        if backend not in ("compose", "simulate"):
+            raise ModelError(f"unknown backend {backend!r} (use 'compose' or 'simulate')")
+        self.backend = backend
+        #: Simulation-backend knobs (ignored under ``backend="compose"``).
+        self.sim_seed = sim_seed
+        self.sim_horizon = sim_horizon
+        self.sim_replications = sim_replications
+        self.sim_rel_error = sim_rel_error
+        self.sim_splitting = sim_splitting
+        self.sim_burn_in = sim_burn_in if sim_burn_in is not None else sim_horizon / 20.0
+        self.sim_confidence = sim_confidence
+        #: Unavailability CI of the last simulation-backend estimate.
+        self.simulation_interval: ConfidenceInterval | None = None
+        self._simulated_unavailability: float | None = None
         self.model = model
         self.order = order
         self.reduction = reduction
@@ -147,6 +178,11 @@ class ArcadeEvaluator:
     @property
     def ctmc(self) -> CTMC:
         """The labelled CTMC of the full (repairable) model."""
+        if self.backend == "simulate":
+            raise ModelError(
+                "the simulate backend estimates measures statistically and "
+                "builds no CTMC; use backend='compose' for state-space access"
+            )
         return self.composed.ctmc
 
     @property
@@ -177,14 +213,55 @@ class ArcadeEvaluator:
         return self._composed_no_repair
 
     # ------------------------------------------------------------------ #
+    # simulation backend
+    # ------------------------------------------------------------------ #
+    def _simulate_unavailability(self) -> float:
+        """Long-run unavailability via RESTART importance splitting.
+
+        The time-average unavailability over ``[burn_in, horizon]``
+        approaches the steady-state value the compositional backend computes
+        once the burn-in passes the model's mixing time; the confidence
+        interval of the estimate is kept in :attr:`simulation_interval`.
+        RESTART with no splitting thresholds (e.g. a single-component cut)
+        degenerates to plain vectorised Monte Carlo.
+        """
+        if self._simulated_unavailability is None:
+            simulator = RestartSimulator(
+                self.model, seed=self.sim_seed, splitting=self.sim_splitting
+            )
+            if self.sim_rel_error is not None:
+                report = simulator.estimate_until(
+                    self.sim_horizon,
+                    rel_error=self.sim_rel_error,
+                    burn_in=self.sim_burn_in,
+                    confidence=self.sim_confidence,
+                    batch_size=max(self.sim_replications, 2),
+                )
+                interval = report.interval
+            else:
+                interval = simulator.run(
+                    self.sim_horizon,
+                    max(self.sim_replications, 2),
+                    burn_in=self.sim_burn_in,
+                    confidence=self.sim_confidence,
+                ).interval
+            self.simulation_interval = interval
+            self._simulated_unavailability = interval.mean
+        return self._simulated_unavailability
+
+    # ------------------------------------------------------------------ #
     # measures
     # ------------------------------------------------------------------ #
     def availability(self) -> float:
         """Steady-state availability of the repairable system."""
+        if self.backend == "simulate":
+            return 1.0 - self._simulate_unavailability()
         return steady_state_availability(self.ctmc)
 
     def unavailability(self) -> float:
         """Steady-state unavailability of the repairable system."""
+        if self.backend == "simulate":
+            return self._simulate_unavailability()
         return steady_state_unavailability(self.ctmc)
 
     def reliability(self, mission_time: float, *, assume_no_repair: bool = True) -> float:
@@ -198,6 +275,15 @@ class ArcadeEvaluator:
 
     def unreliability(self, mission_time: float, *, assume_no_repair: bool = True) -> float:
         """Probability of at least one system failure within ``mission_time``."""
+        if self.backend == "simulate":
+            target = self.model.without_repair() if assume_no_repair else self.model
+            simulator = VectorisedSimulator(target, seed=self.sim_seed)
+            batch = simulator.run_batch(mission_time, max(self.sim_replications, 2))
+            failed = (~np.isnan(batch.first_failure_time)).astype(float)
+            self.simulation_interval = batch_means(
+                failed, confidence=self.sim_confidence
+            )
+            return self.simulation_interval.mean
         if assume_no_repair:
             chain = self.composed_without_repair.ctmc
         else:

@@ -386,7 +386,61 @@ def main(argv: list[str] | None = None) -> None:
         default=1,
         help="worker processes for parallel subtree aggregation (1 = serial)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("compose", "simulate"),
+        default="compose",
+        help="compose: the paper's compositional-aggregation pipeline; "
+        "simulate: RESTART rare-event simulation on the flat RCS model",
+    )
+    parser.add_argument(
+        "--replications",
+        type=int,
+        default=256,
+        help="simulation roots per batch (simulate backend only)",
+    )
+    parser.add_argument(
+        "--rel-error",
+        type=float,
+        default=None,
+        help="target relative CI half-width; keeps adding replication "
+        "batches until reached (simulate backend only)",
+    )
+    parser.add_argument(
+        "--sim-horizon",
+        type=float,
+        default=10_000.0,
+        help="time horizon of each simulated trajectory, hours",
+    )
+    parser.add_argument(
+        "--sim-seed",
+        type=int,
+        default=0,
+        help="seed of the simulation RNG stream",
+    )
     args = parser.parse_args(argv)
+
+    if args.backend == "simulate":
+        started = time.perf_counter()
+        evaluator = ArcadeEvaluator(
+            build_rcs_model(),
+            backend="simulate",
+            sim_seed=args.sim_seed,
+            sim_horizon=args.sim_horizon,
+            sim_replications=args.replications,
+            sim_rel_error=args.rel_error,
+        )
+        unavailability = evaluator.unavailability()
+        interval = evaluator.simulation_interval
+        unreliability_50h = evaluator.unreliability(MISSION_TIME_HOURS)
+        elapsed = time.perf_counter() - started
+        print("RCS (flat model), backend=simulate (RESTART)")
+        print(f"  long-run unavailability {unavailability:.3e}")
+        if interval is not None:
+            print(f"  unavailability CI       {interval.describe()}")
+        print(f"  unreliability (50 h)    {unreliability_50h:.3e}")
+        print(f"  wall-clock {elapsed:.1f}s")
+        return
 
     started = time.perf_counter()
     modular = build_rcs_modular_evaluator(

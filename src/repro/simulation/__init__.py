@@ -1,5 +1,38 @@
-"""Monte-Carlo discrete-event simulation of Arcade models (cross-check)."""
+"""Monte-Carlo simulation of Arcade models: scalar reference, vectorised
+batch engine, RESTART importance splitting and the statistics layer.
+
+See ``docs/simulation.md`` for the layout and when to prefer simulation
+over compositional aggregation.
+"""
 
 from .engine import ArcadeSimulator, SimulationEstimate, SimulationTrace
+from .importance import ImportanceFunction, importance_function
+from .restart import LevelDiagnostics, RestartResult, RestartSimulator
+from .rng import make_generator, trajectory_generator, trajectory_generators
+from .stats import (
+    ConfidenceInterval,
+    StoppingReport,
+    batch_means,
+    run_until_relative_error,
+)
+from .vectorised import BatchResult, VectorisedSimulator
 
-__all__ = ["ArcadeSimulator", "SimulationEstimate", "SimulationTrace"]
+__all__ = [
+    "ArcadeSimulator",
+    "BatchResult",
+    "ConfidenceInterval",
+    "ImportanceFunction",
+    "LevelDiagnostics",
+    "RestartResult",
+    "RestartSimulator",
+    "SimulationEstimate",
+    "SimulationTrace",
+    "StoppingReport",
+    "VectorisedSimulator",
+    "batch_means",
+    "importance_function",
+    "make_generator",
+    "run_until_relative_error",
+    "trajectory_generator",
+    "trajectory_generators",
+]

@@ -1,0 +1,247 @@
+"""Index-based compilation of an Arcade model for the vectorised simulator.
+
+The scalar :class:`~repro.simulation.engine.ArcadeSimulator` works directly
+on the declarative model objects, looking components and repair units up by
+name at every event.  The vectorised engine instead runs thousands of
+replications side by side over integer state matrices, so this module
+compiles the model once into
+
+* dense index tables — component / repair-unit / spare-unit membership as
+  integer arrays, failure-mode codes, per-operational-state phase-type
+  distributions;
+* vectorised fault-tree evaluators — every :class:`~repro.arcade.expressions.
+  Expression` becomes a closure mapping ``(down, mode)`` row-matrices to a
+  boolean vector over replications.
+
+Failure-mode codes mirror the scalar engine's ``failure_mode`` strings:
+``MODE_NONE`` (-1) for an operational component, ``MODE_DF`` (-2) for a
+destructive functional dependency, ``0 .. k-1`` for inherent modes
+``m1 .. mk``.  Mode tags a simulation never produces (e.g. ``inacc``, which
+only the analytical translation emits) compile to ``MODE_NEVER`` so the
+corresponding literals are constantly false — exactly the scalar engine's
+string comparison against modes it never assigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..arcade.component import BasicComponent
+from ..arcade.expressions import And, Expression, KOutOfN, Literal, Or
+from ..arcade.model import ArcadeModel
+from ..arcade.operational_modes import OMGroupKind
+from ..arcade.repair_unit import RepairStrategy, RepairUnit
+from ..distributions.phase_type import PhaseType
+from ..errors import ModelError
+
+MODE_NONE = -1
+MODE_DF = -2
+MODE_NEVER = -99
+
+#: ``(down, mode) -> bool[num_replications]`` fault-tree evaluator.
+ExpressionFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def mode_code(tag: str | None) -> int:
+    """Integer code of a failure-mode tag (``None`` = any mode)."""
+    if tag is None:
+        return MODE_NONE
+    if tag == "df":
+        return MODE_DF
+    if tag.startswith("m") and tag[1:].isdigit():
+        return int(tag[1:]) - 1
+    return MODE_NEVER
+
+
+def compile_expression(expression: Expression, index: dict[str, int]) -> ExpressionFn:
+    """Compile a fault-tree expression into a vectorised evaluator.
+
+    The returned function takes the ``down`` (bool) and ``mode`` (int8)
+    state matrices — one row per replication, one column per component —
+    and returns one boolean per row.
+    """
+    if isinstance(expression, Literal):
+        column = index[expression.component]
+        code = mode_code(expression.mode)
+        if code == MODE_NONE:
+            return lambda down, mode: down[:, column]
+        if code == MODE_NEVER:
+            return lambda down, mode: np.zeros(down.shape[0], dtype=bool)
+        return lambda down, mode: down[:, column] & (mode[:, column] == code)
+    if isinstance(expression, (And, Or, KOutOfN)):
+        children = [compile_expression(child, index) for child in expression.children]
+        if isinstance(expression, And):
+            return lambda down, mode: np.logical_and.reduce(
+                [child(down, mode) for child in children]
+            )
+        if isinstance(expression, Or):
+            return lambda down, mode: np.logical_or.reduce(
+                [child(down, mode) for child in children]
+            )
+        k = expression.k
+        return lambda down, mode: (
+            np.sum([child(down, mode) for child in children], axis=0) >= k
+        )
+    raise ModelError(f"unknown expression node {expression!r}")
+
+
+@dataclass(frozen=True)
+class CompiledComponent:
+    """Dense per-component tables used by the vectorised engine."""
+
+    name: str
+    component: BasicComponent
+    #: time-to-failure distribution per operational-state index (None = cannot fail)
+    ttf: tuple[PhaseType | None, ...]
+    #: time-to-repair distribution per inherent failure mode
+    ttr: tuple[PhaseType | None, ...]
+    ttr_df: PhaseType | None
+    num_failure_modes: int
+    failure_mode_probabilities: tuple[float, ...]
+    #: ``(kind, num_modes, compiled triggers)`` per operational-mode group
+    groups: tuple[tuple[OMGroupKind, int, tuple[ExpressionFn, ...]], ...]
+    #: True when a trigger-driven group exists (mode switches need rescheduling)
+    has_dynamic_modes: bool
+    destructive_fdep: ExpressionFn | None
+    repair_unit: int  # index into CompiledModel.units, -1 = unrepairable
+    initially_active: bool
+
+
+@dataclass(frozen=True)
+class CompiledUnit:
+    """Dense per-repair-unit tables."""
+
+    name: str
+    unit: RepairUnit
+    strategy: RepairStrategy
+    members: tuple[int, ...]  # component columns served by this unit
+    #: queue-selection key per member: ``(max_priority - priority) << 48``
+    #: plus the arrival sequence number picks, via a single argmin, the
+    #: highest-priority longest-waiting member — and reduces to plain FCFS
+    #: order when the strategy ignores priorities.
+    priority_rank: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CompiledModel:
+    """An Arcade model flattened into integer tables and closures."""
+
+    model: ArcadeModel
+    names: tuple[str, ...]
+    index: dict[str, int] = field(repr=False)
+    components: tuple[CompiledComponent, ...]
+    units: tuple[CompiledUnit, ...]
+    unit_names: tuple[str, ...]
+    #: ``(primary_column, spare_columns)`` per spare management unit, in
+    #: declaration order
+    spare_units: tuple[tuple[int, tuple[int, ...]], ...]
+    system_down: ExpressionFn
+
+    @property
+    def num_components(self) -> int:
+        return len(self.components)
+
+    @property
+    def num_units(self) -> int:
+        return len(self.units)
+
+
+def compile_model(model: ArcadeModel) -> CompiledModel:
+    """Flatten ``model`` into the tables the vectorised engine consumes."""
+    model.validate()
+    if model.system_down is None:  # pragma: no cover - validate() rejects this
+        raise ModelError("cannot simulate a model without a SYSTEM DOWN expression")
+    names = tuple(model.components)
+    index = {name: column for column, name in enumerate(names)}
+    unit_names = tuple(model.repair_units)
+    unit_index = {name: position for position, name in enumerate(unit_names)}
+
+    components: list[CompiledComponent] = []
+    for name, component in model.components.items():
+        groups = tuple(
+            (
+                group.kind,
+                group.num_modes,
+                tuple(compile_expression(trigger, index) for trigger in group.triggers),
+            )
+            for group in component.operational_modes
+        )
+        unit = model.repair_unit_of(name)
+        components.append(
+            CompiledComponent(
+                name=name,
+                component=component,
+                ttf=tuple(
+                    component.time_to_failure_of(state)
+                    for state in range(component.num_operational_states)
+                ),
+                ttr=tuple(
+                    component.time_to_repair_of(mode)
+                    for mode in range(component.num_failure_modes)
+                ),
+                ttr_df=component.time_to_repair_df,
+                num_failure_modes=component.num_failure_modes,
+                failure_mode_probabilities=tuple(component.failure_mode_probabilities),
+                groups=groups,
+                has_dynamic_modes=any(
+                    kind is not OMGroupKind.ACTIVE_INACTIVE and triggers
+                    for kind, _, triggers in groups
+                ),
+                destructive_fdep=(
+                    compile_expression(component.destructive_fdep, index)
+                    if component.destructive_fdep is not None
+                    else None
+                ),
+                repair_unit=unit_index[unit.name] if unit is not None else -1,
+                initially_active=model.spare_unit_of(name) is None,
+            )
+        )
+
+    units: list[CompiledUnit] = []
+    for name in unit_names:
+        unit = model.repair_units[name]
+        members = tuple(index[member] for member in unit.components)
+        top = max((unit.priority_of(member) for member in unit.components), default=0)
+        units.append(
+            CompiledUnit(
+                name=name,
+                unit=unit,
+                strategy=unit.strategy,
+                members=members,
+                priority_rank=tuple(
+                    (top - unit.priority_of(member)) << 48 for member in unit.components
+                ),
+            )
+        )
+
+    spare_units = tuple(
+        (index[unit.primary], tuple(index[spare] for spare in unit.spares))
+        for unit in model.spare_units.values()
+    )
+
+    return CompiledModel(
+        model=model,
+        names=names,
+        index=index,
+        components=tuple(components),
+        units=tuple(units),
+        unit_names=unit_names,
+        spare_units=spare_units,
+        system_down=compile_expression(model.system_down, index),
+    )
+
+
+__all__ = [
+    "MODE_DF",
+    "MODE_NEVER",
+    "MODE_NONE",
+    "CompiledComponent",
+    "CompiledModel",
+    "CompiledUnit",
+    "compile_expression",
+    "compile_model",
+    "mode_code",
+]

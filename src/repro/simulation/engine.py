@@ -1,4 +1,4 @@
-"""Discrete-event Monte-Carlo simulation of Arcade models.
+"""Discrete-event Monte-Carlo simulation of Arcade models (scalar reference).
 
 The simulator provides an *independent* implementation of the Arcade
 semantics: instead of translating to I/O-IMCs and solving a CTMC, it executes
@@ -8,6 +8,16 @@ spares, the fault tree is re-evaluated after every event).  Agreement between
 the simulator and the analytical pipeline is used throughout the test suite
 as a cross-check of the semantics, and the simulator also covers models whose
 state spaces are too large to build explicitly.
+
+This scalar, one-trajectory-at-a-time engine is the **differential
+reference** for the vectorised engine of
+:mod:`repro.simulation.vectorised`: running a trajectory here with the
+per-trajectory stream of :func:`repro.simulation.rng.trajectory_generator`
+must produce bit-identical events to the corresponding row of a matched-mode
+vectorised batch.  All randomness flows through an explicit
+:class:`numpy.random.Generator` built by :func:`repro.simulation.rng.
+make_generator` (or passed per run) — never through module-level
+``numpy.random.*`` calls.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from ..arcade.model import ArcadeModel
 from ..arcade.operational_modes import OMGroupKind
 from ..arcade.repair_unit import RepairStrategy, RepairUnit
 from ..errors import ModelError
+from .rng import make_generator
 
 
 @dataclass
@@ -53,16 +64,31 @@ class ArcadeSimulator:
     def __init__(self, model: ArcadeModel, *, seed: int = 0) -> None:
         model.validate()
         self.model = model
-        self.rng = np.random.default_rng(seed)
+        self.rng = make_generator(seed)
         assert model.system_down is not None
         self.system_down_expression: Expression = model.system_down
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
-    def run(self, horizon: float) -> "SimulationTrace":
-        """Simulate one trajectory up to ``horizon`` and record system failures."""
-        state, units, events, counter = self._initial_state()
+    def run(
+        self,
+        horizon: float,
+        *,
+        rng: np.random.Generator | None = None,
+        log: list | None = None,
+    ) -> "SimulationTrace":
+        """Simulate one trajectory up to ``horizon`` and record system failures.
+
+        ``rng`` overrides the engine stream for this trajectory (used by the
+        differential suite to pin one :func:`~repro.simulation.rng.
+        trajectory_generator` stream per trajectory).  ``log``, when given,
+        receives one ``(time, kind, name)`` tuple per executed event —
+        ``kind`` is ``"failure"``, ``"phase"`` or ``"repair"`` and ``name``
+        the component (or repair unit) the event belongs to.
+        """
+        rng = self.rng if rng is None else rng
+        state, units, events, counter = self._initial_state(rng)
         trace = SimulationTrace(horizon=horizon)
         now = 0.0
         system_down = self._system_down(state)
@@ -81,8 +107,15 @@ class ArcadeSimulator:
                 if units[unit_name].completion_event != event_id:
                     continue
             now = time
+            trace.events += 1
+            if log is not None:
+                log.append(
+                    (now, kind, payload["unit" if kind == "repair" else "component"])
+                )
             if kind == "failure":
-                self._handle_failure(payload["component"], payload["mode"], state, units, events, counter, now)
+                self._handle_failure(
+                    payload["component"], payload["mode"], state, units, events, counter, now, rng
+                )
             elif kind == "phase":
                 # The failure distribution advanced one phase; the reached
                 # phase is remembered so a later operational-mode switch
@@ -90,10 +123,10 @@ class ArcadeSimulator:
                 component = payload["component"]
                 state[component].failure_phase = payload["phase"]
                 self._schedule_failure(
-                    component, state, events, counter, now, preserve_phase=True
+                    component, state, events, counter, now, rng, preserve_phase=True
                 )
             elif kind == "repair":
-                self._handle_repair(payload["unit"], state, units, events, counter, now)
+                self._handle_repair(payload["unit"], state, units, events, counter, now, rng)
             else:  # pragma: no cover - defensive
                 raise ModelError(f"unknown event kind {kind!r}")
             new_down = self._system_down(state)
@@ -115,9 +148,11 @@ class ArcadeSimulator:
         unavailability = 0.0
         failures_by_horizon = 0
         down_at_horizon = 0
+        total_events = 0
         for _ in range(runs):
             trace = self.run(horizon)
             unavailability += trace.down_time / horizon
+            total_events += trace.events
             if trace.first_failure_time is not None:
                 failures_by_horizon += 1
             if trace.down_at_end:
@@ -128,12 +163,13 @@ class ArcadeSimulator:
             mean_unavailability=unavailability / runs,
             unreliability=failures_by_horizon / runs,
             point_unavailability=down_at_horizon / runs,
+            total_events=total_events,
         )
 
     # ------------------------------------------------------------------ #
     # initialisation
     # ------------------------------------------------------------------ #
-    def _initial_state(self):
+    def _initial_state(self, rng: np.random.Generator):
         state: dict[str, _ComponentState] = {}
         units: dict[str, _RepairUnitState] = {}
         events: list[tuple[float, int, str, dict]] = []
@@ -144,7 +180,7 @@ class ArcadeSimulator:
         for name in self.model.repair_units:
             units[name] = _RepairUnitState()
         for name in self.model.components:
-            self._schedule_failure(name, state, events, counter, 0.0)
+            self._schedule_failure(name, state, events, counter, 0.0, rng)
         return state, units, events, counter
 
     # ------------------------------------------------------------------ #
@@ -171,6 +207,7 @@ class ArcadeSimulator:
         events: list,
         counter,
         now: float,
+        rng: np.random.Generator,
         *,
         preserve_phase: bool = False,
     ) -> None:
@@ -202,7 +239,7 @@ class ArcadeSimulator:
             phase = component_state.failure_phase
         else:
             phase = int(
-                self.rng.choice(
+                rng.choice(
                     distribution.num_phases, p=np.asarray(distribution.initial)
                 )
             )
@@ -220,8 +257,8 @@ class ArcadeSimulator:
         if total <= 0:  # a dead phase: the component can never fail from here
             component_state.failure_event = None
             return
-        delay = float(self.rng.exponential(1.0 / total))
-        choice = self.rng.uniform(0.0, total)
+        delay = float(rng.exponential(1.0 / total))
+        choice = rng.uniform(0.0, total)
         cumulative = 0.0
         target = outgoing[-1][1]
         for rate, candidate in outgoing:
@@ -233,7 +270,7 @@ class ArcadeSimulator:
         component_state.failure_event = event_id
         if target is None:
             mode_index = int(
-                self.rng.choice(
+                rng.choice(
                     component.num_failure_modes,
                     p=np.asarray(component.failure_mode_probabilities),
                 )
@@ -262,15 +299,15 @@ class ArcadeSimulator:
                 ),
             )
 
-    def _handle_failure(self, name, mode, state, units, events, counter, now) -> None:
+    def _handle_failure(self, name, mode, state, units, events, counter, now, rng) -> None:
         component_state = state[name]
         component_state.down = True
         component_state.failure_mode = mode
         component_state.failure_event = None
-        self._notify_repair_unit(name, mode, state, units, events, counter, now)
-        self._propagate(name, state, units, events, counter, now)
+        self._notify_repair_unit(name, mode, state, units, events, counter, now, rng)
+        self._propagate(name, state, units, events, counter, now, rng)
 
-    def _handle_repair(self, unit_name, state, units, events, counter, now) -> None:
+    def _handle_repair(self, unit_name, state, units, events, counter, now, rng) -> None:
         unit_state = units[unit_name]
         repaired = unit_state.repairing
         unit_state.repairing = None
@@ -281,14 +318,14 @@ class ArcadeSimulator:
                 # Fig. 3: repairing a component whose dependency source is
                 # still down immediately destroys it again.
                 component_state.failure_mode = "df"
-                self._notify_repair_unit(repaired, "df", state, units, events, counter, now)
+                self._notify_repair_unit(repaired, "df", state, units, events, counter, now, rng)
             else:
                 component_state.down = False
                 component_state.failure_mode = None
                 component_state.waiting_for_repair = False
-                self._schedule_failure(repaired, state, events, counter, now)
-                self._propagate(repaired, state, units, events, counter, now)
-        self._start_next_repair(unit_name, state, units, events, counter, now)
+                self._schedule_failure(repaired, state, events, counter, now, rng)
+                self._propagate(repaired, state, units, events, counter, now, rng)
+        self._start_next_repair(unit_name, state, units, events, counter, now, rng)
 
     def _df_holds(self, name: str, state: dict[str, _ComponentState]) -> bool:
         component = self.model.component(name)
@@ -296,14 +333,14 @@ class ArcadeSimulator:
             return False
         return self._expression_holds(component.destructive_fdep, state)
 
-    def _propagate(self, changed, state, units, events, counter, now) -> None:
+    def _propagate(self, changed, state, units, events, counter, now, rng) -> None:
         """Re-evaluate dependencies after a component changed its up/down status."""
         for name, component in self.model.components.items():
             if name == changed:
                 continue
             if component.destructive_fdep is not None and not state[name].down:
                 if self._expression_holds(component.destructive_fdep, state):
-                    self._handle_failure(name, "df", state, units, events, counter, now)
+                    self._handle_failure(name, "df", state, units, events, counter, now, rng)
                     continue
             if any(
                 group.kind is not OMGroupKind.ACTIVE_INACTIVE and group.triggers
@@ -313,7 +350,7 @@ class ArcadeSimulator:
                 # remaining time of the *current* phase under the new mode,
                 # keeping the reached phase (see _schedule_failure).
                 self._schedule_failure(
-                    name, state, events, counter, now, preserve_phase=True
+                    name, state, events, counter, now, rng, preserve_phase=True
                 )
         # Spare management.
         for unit in self.model.spare_units.values():
@@ -326,7 +363,7 @@ class ArcadeSimulator:
                             if not state[spare].active:
                                 state[spare].active = True
                                 self._schedule_failure(
-                                    spare, state, events, counter, now,
+                                    spare, state, events, counter, now, rng,
                                     preserve_phase=True,
                                 )
                             break
@@ -335,13 +372,13 @@ class ArcadeSimulator:
                     state[spare].active = False
                     if not state[spare].down:
                         self._schedule_failure(
-                            spare, state, events, counter, now, preserve_phase=True
+                            spare, state, events, counter, now, rng, preserve_phase=True
                         )
 
     # ------------------------------------------------------------------ #
     # repair units
     # ------------------------------------------------------------------ #
-    def _notify_repair_unit(self, name, mode, state, units, events, counter, now) -> None:
+    def _notify_repair_unit(self, name, mode, state, units, events, counter, now, rng) -> None:
         unit = self.model.repair_unit_of(name)
         if unit is None:
             return
@@ -350,7 +387,7 @@ class ArcadeSimulator:
         if name not in unit_state.queue and unit_state.repairing != name:
             unit_state.queue.append(name)
         if unit_state.repairing is None:
-            self._start_next_repair(unit.name, state, units, events, counter, now)
+            self._start_next_repair(unit.name, state, units, events, counter, now, rng)
         elif unit.strategy is RepairStrategy.PRIORITY_PREEMPTIVE:
             current = unit_state.repairing
             if unit.priority_of(name) > unit.priority_of(current):
@@ -358,9 +395,9 @@ class ArcadeSimulator:
                 unit_state.repairing = None
                 unit_state.completion_event = None
                 unit_state.queue.remove(name)
-                self._begin_repair(unit, name, state, units, events, counter, now)
+                self._begin_repair(unit, name, state, units, events, counter, now, rng)
 
-    def _start_next_repair(self, unit_name, state, units, events, counter, now) -> None:
+    def _start_next_repair(self, unit_name, state, units, events, counter, now, rng) -> None:
         unit = self.model.repair_units[unit_name]
         unit_state = units[unit_name]
         if unit_state.repairing is not None or not unit_state.queue:
@@ -370,9 +407,9 @@ class ArcadeSimulator:
         else:
             chosen = max(unit_state.queue, key=lambda c: (unit.priority_of(c), -unit_state.queue.index(c)))
             unit_state.queue.remove(chosen)
-        self._begin_repair(unit, chosen, state, units, events, counter, now)
+        self._begin_repair(unit, chosen, state, units, events, counter, now, rng)
 
-    def _begin_repair(self, unit: RepairUnit, name, state, units, events, counter, now) -> None:
+    def _begin_repair(self, unit: RepairUnit, name, state, units, events, counter, now, rng) -> None:
         component = self.model.component(name)
         mode = state[name].failure_mode or "m1"
         if mode == "df":
@@ -381,7 +418,7 @@ class ArcadeSimulator:
             distribution = component.time_to_repair_of(int(mode[1:]) - 1)
         if distribution is None:
             raise ModelError(f"component {name} has no repair distribution for mode {mode}")
-        delay = distribution.sample(self.rng)
+        delay = distribution.sample(rng)
         event_id = next(counter)
         unit_state = units[unit.name]
         unit_state.repairing = name
@@ -427,6 +464,7 @@ class SimulationTrace:
     failures: int = 0
     first_failure_time: float | None = None
     down_at_end: bool = False
+    events: int = 0
 
     def record(self, duration: float, was_down: bool) -> None:
         duration = max(duration, 0.0)
@@ -446,6 +484,7 @@ class SimulationEstimate:
     mean_unavailability: float
     unreliability: float
     point_unavailability: float
+    total_events: int = 0
 
     @property
     def mean_availability(self) -> float:

@@ -1,0 +1,136 @@
+"""Importance function and splitting levels derived from the gate tree.
+
+RESTART needs a real-valued *importance function* Φ on simulation states
+that grows towards the rare event (system failure).  For an Arcade model
+the natural choice is a weighted count of failed basic components, with
+weights taken from the fault-tree structure: a component close to the top
+event contributes more than one buried under many gates, so
+
+    ``weight(c) = 1 / depth(c)``
+
+where ``depth(c)`` is the smallest gate depth at which a literal of ``c``
+occurs (direct children of the top event have depth 1).  Components that do
+not occur in the tree at all can still matter indirectly — through spare
+activation, destructive dependencies or repair-queue contention — and get
+the weight of the deepest literal so their failures nudge Φ without
+dominating it.
+
+The *level thresholds* partition Φ's range between 0 and the smallest value
+at which the top event can possibly hold, i.e. the **minimal weighted cut**
+of the tree (And = sum of children, Or = min of children, K-out-of-N = sum
+of the k smallest children).  By default one threshold is placed at every
+multiple of the smallest component weight below that cut value, so each
+splitting level corresponds to roughly "one more component down" on the
+cheapest path to the top event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arcade.expressions import And, Expression, KOutOfN, Literal, Or
+from ..arcade.model import ArcadeModel
+from ..errors import ModelError
+
+#: Safety cap on the number of splitting levels (the retrial weight decays
+#: like ``splitting**-levels``; more levels than this never helps).
+MAX_LEVELS = 16
+
+
+def literal_depths(expression: Expression) -> dict[str, int]:
+    """Smallest depth of each component's literals (top-event children = 1)."""
+    depths: dict[str, int] = {}
+
+    def visit(node: Expression, depth: int) -> None:
+        if isinstance(node, Literal):
+            previous = depths.get(node.component)
+            if previous is None or depth < previous:
+                depths[node.component] = depth
+            return
+        if isinstance(node, (And, Or, KOutOfN)):
+            for child in node.children:
+                visit(child, depth + 1)
+            return
+        raise ModelError(f"unknown expression node {node!r}")
+
+    visit(expression, 0)
+    # A bare literal as the whole tree gets depth 0; clamp to 1.
+    return {component: max(depth, 1) for component, depth in depths.items()}
+
+
+def component_weights(model: ArcadeModel) -> np.ndarray:
+    """Importance weight per component, in model component order."""
+    if model.system_down is None:
+        raise ModelError("component weights need a SYSTEM DOWN expression")
+    depths = literal_depths(model.system_down)
+    deepest = max(depths.values(), default=1)
+    return np.array(
+        [1.0 / depths.get(name, deepest) for name in model.components]
+    )
+
+
+def min_weighted_cut(expression: Expression, weights: dict[str, float]) -> float:
+    """Smallest total weight of failed components that satisfies the tree."""
+    if isinstance(expression, Literal):
+        return weights[expression.component]
+    if isinstance(expression, And):
+        return sum(min_weighted_cut(child, weights) for child in expression.children)
+    if isinstance(expression, Or):
+        return min(min_weighted_cut(child, weights) for child in expression.children)
+    if isinstance(expression, KOutOfN):
+        costs = sorted(min_weighted_cut(child, weights) for child in expression.children)
+        return sum(costs[: expression.k])
+    raise ModelError(f"unknown expression node {expression!r}")
+
+
+@dataclass(frozen=True)
+class ImportanceFunction:
+    """Φ = failed-component indicator · weights, plus the level thresholds."""
+
+    weights: np.ndarray
+    thresholds: np.ndarray
+    top_value: float
+
+    @property
+    def num_levels(self) -> int:
+        return self.thresholds.size
+
+    def phi(self, down: np.ndarray) -> np.ndarray:
+        """Importance of every row of a ``down`` component matrix."""
+        return down.astype(np.float64) @ self.weights
+
+    def level(self, phi: np.ndarray) -> np.ndarray:
+        """Number of thresholds at or below each Φ value."""
+        # A hair of slack keeps float-summed Φ values from just missing the
+        # exact multiples the thresholds sit on.
+        return np.searchsorted(self.thresholds, phi + 1e-12, side="right")
+
+
+def importance_function(
+    model: ArcadeModel, *, max_levels: int = MAX_LEVELS
+) -> ImportanceFunction:
+    """Build the default gate-tree importance function for ``model``."""
+    if model.system_down is None:
+        raise ModelError("an importance function needs a SYSTEM DOWN expression")
+    weights = component_weights(model)
+    by_name = {name: weights[column] for column, name in enumerate(model.components)}
+    top = min_weighted_cut(model.system_down, by_name)
+    step = float(weights[weights > 0].min()) if (weights > 0).any() else 1.0
+    # Thresholds strictly below the top-event cut: states at or above the
+    # cut form the rare set itself, which must stay inside the last level.
+    count = int(np.ceil(top / step)) - 1
+    count = max(0, min(count, max_levels))
+    thresholds = step * np.arange(1, count + 1)
+    return ImportanceFunction(weights=weights, thresholds=thresholds, top_value=top)
+
+
+__all__ = [
+    "MAX_LEVELS",
+    "ImportanceFunction",
+    "component_weights",
+    "importance_function",
+    "literal_depths",
+    "min_weighted_cut",
+]

@@ -1,0 +1,362 @@
+"""RESTART importance splitting on top of the vectorised engine.
+
+Naive Monte-Carlo needs on the order of ``1/U`` replications to see a
+single system failure of unavailability ``U`` — hopeless at five nines.
+RESTART (REpetitive Simulation Trials After Reaching Thresholds,
+Villén-Altamirano) keeps the exact model dynamics but oversamples the
+states that matter: the importance function Φ of
+:mod:`repro.simulation.importance` splits the state space into levels, and
+
+* when a trajectory **up-crosses** threshold ``j`` it is *split*: ``r_j - 1``
+  clones (retrials) are created from the crossing state, so the region above
+  the threshold is visited ``r_j`` times as often;
+* a retrial is **killed** when it falls back below the threshold it was born
+  at (its parent — the master of that split — carries on);
+* every time-sample taken while the state sits at level Λ is weighted by
+  ``1 / (r_1 · … · r_Λ)``, which exactly cancels the oversampling, so the
+  weighted down-time per *root* trajectory is an unbiased estimate of the
+  unavailability.
+
+Roots are independent, so batch-means over per-root estimates gives a valid
+confidence interval even though clones within a root are correlated.
+Clones inherit their parent's event timers — legitimate, because the state
+(including scheduled residuals) is exactly what RESTART conditions on — and
+by default the *failure* delays are re-drawn (memoryless per-phase holding
+times) to decorrelate retrials; partially-elapsed repair residuals are kept,
+as general phase-type remainders are not memoryless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..arcade.model import ArcadeModel
+from ..errors import ModelError
+from .compiled import compile_model
+from .importance import ImportanceFunction, importance_function
+from .rng import make_generator
+from .stats import ConfidenceInterval, StoppingReport, batch_means, run_until_relative_error
+from .vectorised import _BatchedDraws, _Runtime
+
+
+def _resize(array: np.ndarray, size: int) -> np.ndarray:
+    """Grow a per-row bookkeeping array to match the runtime's row count."""
+    if array.size >= size:
+        return array
+    padding = np.zeros(size - array.size, dtype=array.dtype)
+    return np.concatenate([array, padding])
+
+
+@dataclass(frozen=True)
+class LevelDiagnostics:
+    """Splitting traffic through one threshold."""
+
+    level: int
+    threshold: float
+    splitting: int
+    crossings: int
+    spawned: int
+    killed: int
+    dropped: int
+
+
+@dataclass(frozen=True)
+class RestartResult:
+    """Outcome of a RESTART estimation run."""
+
+    interval: ConfidenceInterval
+    samples: np.ndarray  # per-root unavailability estimates
+    horizon: float
+    burn_in: float
+    total_events: int
+    levels: tuple[LevelDiagnostics, ...]
+    max_population: int
+    saturated: bool
+
+    @property
+    def unavailability(self) -> float:
+        return self.interval.mean
+
+    @property
+    def availability(self) -> float:
+        return 1.0 - self.interval.mean
+
+
+class RestartSimulator:
+    """Rare-event unavailability estimation via importance splitting.
+
+    Parameters
+    ----------
+    model:
+        The Arcade model.
+    seed:
+        Seed of the (batched) engine stream.
+    importance:
+        Importance function; defaults to the gate-tree construction of
+        :func:`repro.simulation.importance.importance_function`.
+    splitting:
+        Retrials per up-crossing — one integer for all thresholds or one per
+        threshold.  ``r`` means the parent plus ``r - 1`` clones.
+    max_population:
+        Hard cap on concurrently alive trajectories; clones beyond it are
+        dropped (counted in the diagnostics, trading a little variance for
+        bounded memory).
+    redraw_failures:
+        Re-draw pending failure delays on clones (decorrelation, see module
+        docstring).
+    """
+
+    def __init__(
+        self,
+        model: ArcadeModel,
+        *,
+        seed: int = 0,
+        importance: ImportanceFunction | None = None,
+        splitting: int | Sequence[int] = 4,
+        max_population: int = 200_000,
+        redraw_failures: bool = True,
+    ) -> None:
+        self.model = model
+        self.compiled = compile_model(model)
+        self.importance = (
+            importance if importance is not None else importance_function(model)
+        )
+        levels = self.importance.num_levels
+        if isinstance(splitting, int):
+            factors = (splitting,) * levels
+        else:
+            factors = tuple(int(value) for value in splitting)
+            if len(factors) != levels:
+                raise ModelError(
+                    f"need one splitting factor per threshold ({levels}), got {len(factors)}"
+                )
+        if any(factor < 1 for factor in factors):
+            raise ModelError("splitting factors must be at least 1")
+        self.splitting = factors
+        #: ``divisor[L]`` = r_1 · … · r_L, the weight denominator at level L
+        self.divisor = np.concatenate(
+            [[1.0], np.cumprod(np.asarray(factors, dtype=np.float64))]
+        )
+        self.max_population = max_population
+        self.redraw_failures = redraw_failures
+        self.seed = seed
+        self.rng = make_generator(seed)
+
+    #: Roots simulated per internal chunk.  Every root starts from the
+    #: all-up state, so first failures land within a few engine steps of
+    #: each other and each spawns ``splitting - 1`` clones at once; chunking
+    #: bounds that synchronized burst (and the state matrices) independently
+    #: of the requested root count, keeping large runs clear of
+    #: ``max_population`` saturation.
+    ROOT_CHUNK = 8192
+
+    def run(
+        self,
+        horizon: float,
+        roots: int,
+        *,
+        burn_in: float = 0.0,
+        confidence: float = 0.99,
+        batches: int = 32,
+    ) -> RestartResult:
+        """Estimate unavailability over ``[burn_in, horizon]`` from ``roots`` roots."""
+        if roots < 2:
+            raise ModelError("RESTART needs at least two root trajectories")
+        if not 0.0 <= burn_in < horizon:
+            raise ModelError("burn_in must lie inside [0, horizon)")
+        num_levels = self.importance.num_levels
+        chunk = max(2, min(self.ROOT_CHUNK, self.max_population // max(self.splitting)))
+        parts: list[np.ndarray] = []
+        crossings = np.zeros(num_levels + 1, dtype=np.int64)
+        spawned = np.zeros(num_levels + 1, dtype=np.int64)
+        killed = np.zeros(num_levels + 1, dtype=np.int64)
+        dropped = np.zeros(num_levels + 1, dtype=np.int64)
+        peak = 0
+        saturated = False
+        total_events = 0
+        start = 0
+        while start < roots:
+            count = min(chunk, roots - start)
+            samples, events, counters, chunk_peak, chunk_saturated = self._run_chunk(
+                horizon, count, burn_in
+            )
+            parts.append(samples)
+            total_events += events
+            crossings += counters[0]
+            spawned += counters[1]
+            killed += counters[2]
+            dropped += counters[3]
+            peak = max(peak, chunk_peak)
+            saturated = saturated or chunk_saturated
+            start += count
+        samples = np.concatenate(parts)
+        interval = batch_means(samples, batches=batches, confidence=confidence)
+        imp = self.importance
+        diagnostics = tuple(
+            LevelDiagnostics(
+                level=index,
+                threshold=float(imp.thresholds[index - 1]),
+                splitting=self.splitting[index - 1],
+                crossings=int(crossings[index]),
+                spawned=int(spawned[index]),
+                killed=int(killed[index]),
+                dropped=int(dropped[index]),
+            )
+            for index in range(1, num_levels + 1)
+        )
+        return RestartResult(
+            interval=interval,
+            samples=samples,
+            horizon=horizon,
+            burn_in=burn_in,
+            total_events=total_events,
+            levels=diagnostics,
+            max_population=peak,
+            saturated=saturated,
+        )
+
+    def _run_chunk(self, horizon: float, roots: int, burn_in: float):
+        """One chunk of independent roots; returns samples and diagnostics."""
+        imp = self.importance
+        num_levels = imp.num_levels
+        runtime = _Runtime(self.compiled, roots, _BatchedDraws(self.rng))
+        root_id = np.arange(roots)
+        birth = np.zeros(roots, dtype=np.int64)
+        level = imp.level(imp.phi(runtime.down))
+        scores = np.zeros(roots)
+        window = horizon - burn_in
+        crossings = np.zeros(num_levels + 1, dtype=np.int64)
+        spawned = np.zeros(num_levels + 1, dtype=np.int64)
+        killed = np.zeros(num_levels + 1, dtype=np.int64)
+        dropped = np.zeros(num_levels + 1, dtype=np.int64)
+        peak = roots
+        saturated = False
+        total_events = 0
+
+        def score(rows: np.ndarray, until: np.ndarray | float) -> None:
+            """Add the weighted down-time of segment [now, until) ∩ window."""
+            down_rows = rows[runtime.sysdown[rows]]
+            if down_rows.size == 0:
+                return
+            upper = until[runtime.sysdown[rows]] if isinstance(until, np.ndarray) else until
+            lower = np.maximum(runtime.now[down_rows], burn_in)
+            segment = np.clip(np.minimum(upper, horizon) - lower, 0.0, None)
+            np.add.at(
+                scores, root_id[down_rows], segment / self.divisor[level[down_rows]]
+            )
+
+        while True:
+            live, times, columns = runtime._select()
+            if live.size == 0:
+                break
+            over = ~(np.isfinite(times) & (times <= horizon))
+            ending = live[over]
+            if ending.size:
+                score(ending, horizon)
+                runtime._finalize(ending, horizon)
+            rows = live[~over]
+            if rows.size == 0:
+                continue
+            score(rows, times[~over])
+            total_events += rows.size
+            runtime._dispatch(rows, times[~over], columns[~over])
+            runtime._update_system_state(rows)
+            new_level = imp.level(imp.phi(runtime.down[rows]))
+            old_level = level[rows]
+            level[rows] = new_level
+            # Kill retrials that fell below their birth threshold.
+            fallen = new_level < birth[rows]
+            dead = rows[fallen]
+            if dead.size:
+                runtime.done[dead] = True
+                np.add.at(killed, birth[dead], 1)
+            # Split at up-crossings, threshold by threshold: clones born at
+            # threshold j take part in the splits at thresholds above j, so
+            # a multi-level jump multiplies through all crossed thresholds.
+            pending_rows = rows
+            pending_old = old_level
+            pending_new = new_level
+            for threshold in range(1, num_levels + 1):
+                across = (pending_old < threshold) & (pending_new >= threshold)
+                crossers = pending_rows[across]
+                if crossers.size == 0:
+                    continue
+                crossings[threshold] += crossers.size
+                extra = self.splitting[threshold - 1] - 1
+                if extra == 0:
+                    continue
+                sources = np.repeat(crossers, extra)
+                capacity = self.max_population - int((~runtime.done).sum())
+                if sources.size > capacity:
+                    overflow = sources.size - max(capacity, 0)
+                    dropped[threshold] += overflow
+                    saturated = True
+                    sources = sources[: max(capacity, 0)]
+                if sources.size == 0:
+                    continue
+                clones = runtime.clone_rows(sources)
+                spawned[threshold] += clones.size
+                # The runtime recycles retired rows and grows geometrically;
+                # mirror its size before writing the clones' bookkeeping.
+                root_id = _resize(root_id, runtime.size)
+                birth = _resize(birth, runtime.size)
+                level = _resize(level, runtime.size)
+                root_id[clones] = root_id[sources]
+                birth[clones] = threshold
+                level[clones] = level[sources]
+                if self.redraw_failures:
+                    runtime.redraw_failure_delays(clones)
+                # Fresh clones cross the remaining thresholds like their
+                # parents did within this same event.
+                pending_rows = np.concatenate([pending_rows, clones])
+                pending_old = np.concatenate(
+                    [pending_old, np.full(clones.size, threshold, dtype=np.int64)]
+                )
+                pending_new = np.concatenate([pending_new, level[sources]])
+                peak = max(peak, int((~runtime.done).sum()))
+
+        return (
+            scores / window,
+            total_events,
+            (crossings, spawned, killed, dropped),
+            peak,
+            saturated,
+        )
+
+    def estimate_until(
+        self,
+        horizon: float,
+        *,
+        rel_error: float,
+        burn_in: float = 0.0,
+        confidence: float = 0.99,
+        batch_size: int = 256,
+        max_roots: int = 1 << 16,
+        batches: int = 32,
+    ) -> StoppingReport:
+        """Add root batches until the unavailability CI is tight enough.
+
+        Per-root estimates are iid and the engine stream continues across
+        :meth:`run` calls, so successive batches pool into one batch-means
+        interval via the generic stopping rule.
+        """
+
+        def draw(count: int) -> np.ndarray:
+            return self.run(
+                horizon, max(count, 2), burn_in=burn_in, confidence=confidence
+            ).samples
+
+        return run_until_relative_error(
+            draw,
+            rel_error=rel_error,
+            confidence=confidence,
+            batch_size=batch_size,
+            max_replications=max_roots,
+            batches=batches,
+        )
+
+
+__all__ = ["LevelDiagnostics", "RestartResult", "RestartSimulator"]

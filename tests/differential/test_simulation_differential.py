@@ -1,0 +1,124 @@
+"""Differential pinning of the vectorised simulation backend.
+
+Two layers, mirroring the guarantees the backend rests on:
+
+1. **Exact trajectory equality** — the vectorised engine in ``matched`` mode
+   consumes one :func:`repro.simulation.rng.trajectory_generator` stream per
+   replication in exactly the order the scalar reference engine does, so
+   for every corpus model the two must produce *bit-identical* event logs
+   and trace statistics.  Any divergence in event ordering, repair-queue
+   policy, spare management or FDEP propagation shows up here as the first
+   differing event.
+
+2. **Statistical coverage of the compositional ground truth** — in
+   ``batched`` mode the engine draws from one shared stream (different
+   numbers, same distributions), so equality is replaced by a calibration
+   check: per-model 99% confidence intervals over the end-of-horizon down
+   indicator must cover the point unavailability computed by the
+   compositional pipeline for (at least) roughly the nominal fraction of
+   the corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ArcadeEvaluator
+from repro.ctmc import point_availability
+from repro.simulation import ArcadeSimulator, VectorisedSimulator, batch_means
+from repro.simulation.rng import trajectory_generator
+
+from .generators import (
+    random_arcade_model,
+    random_erlang_model,
+    random_fdep_model,
+    random_priority_model,
+)
+
+pytestmark = pytest.mark.differential
+
+#: Generator families and seed ranges — the same 54-model corpus the
+#: compositional differential tier uses.
+FAMILIES = {
+    "base": (random_arcade_model, list(range(30))),
+    "erlang": (random_erlang_model, list(range(8))),
+    "priority": (random_priority_model, list(range(8))),
+    "fdep": (random_fdep_model, list(range(8))),
+}
+
+CORPUS = [
+    (family, seed) for family, (_, seeds) in FAMILIES.items() for seed in seeds
+]
+
+#: Horizon of every simulated trajectory.
+HORIZON = 10.0
+#: Root seed of the per-trajectory streams (matched-mode comparison).
+STREAM_SEED = 2024
+#: Trajectories compared event-by-event per model.
+MATCHED_RUNS = 5
+#: Replications per model for the coverage check.
+COVERAGE_RUNS = 2048
+#: Minimum fraction of the corpus whose 99% CI must cover the truth.
+COVERAGE_FLOOR = 0.85
+
+
+def build_model(family: str, seed: int):
+    generator, _ = FAMILIES[family]
+    return generator(seed)
+
+
+@pytest.mark.parametrize("family,seed", CORPUS)
+def test_matched_mode_is_bit_identical_to_scalar(family, seed):
+    """Same per-trajectory stream => same events, times and statistics."""
+    model = build_model(family, seed)
+    scalar = ArcadeSimulator(model, seed=0)
+    scalar_logs: list[list] = []
+    scalar_traces = []
+    for index in range(MATCHED_RUNS):
+        log: list = []
+        trace = scalar.run(
+            HORIZON, rng=trajectory_generator(STREAM_SEED, index), log=log
+        )
+        scalar_logs.append(log)
+        scalar_traces.append(trace)
+
+    vector = VectorisedSimulator(model, seed=STREAM_SEED, mode="matched")
+    vector_logs: list = []
+    batch = vector.run_batch(HORIZON, MATCHED_RUNS, log=vector_logs)
+    vector_traces = batch.traces()
+
+    for index in range(MATCHED_RUNS):
+        assert vector_logs[index] == scalar_logs[index], (
+            f"{family}-{seed} trajectory {index}: first diverging event "
+            f"among {len(scalar_logs[index])} scalar events"
+        )
+        s, v = scalar_traces[index], vector_traces[index]
+        assert v.down_time == s.down_time
+        assert v.up_time == s.up_time
+        assert v.failures == s.failures
+        assert v.first_failure_time == s.first_failure_time
+        assert v.events == s.events
+
+
+def test_batched_cis_cover_compositional_ground_truth():
+    """99% CIs on P(down at horizon) calibrate against the pipeline."""
+    covered = 0
+    misses = []
+    for family, seed in CORPUS:
+        model = build_model(family, seed)
+        truth = 1.0 - point_availability(ArcadeEvaluator(model).ctmc, HORIZON)
+        simulator = VectorisedSimulator(model, seed=seed + 1)
+        batch = simulator.run_batch(HORIZON, COVERAGE_RUNS)
+        interval = batch_means(
+            batch.down_at_end.astype(np.float64), confidence=0.99
+        )
+        if interval.contains(truth):
+            covered += 1
+        else:
+            misses.append((family, seed, truth, interval.mean, interval.half_width))
+    coverage = covered / len(CORPUS)
+    assert coverage >= COVERAGE_FLOOR, (
+        f"only {covered}/{len(CORPUS)} models covered the compositional "
+        f"truth: {misses}"
+    )
