@@ -1,0 +1,109 @@
+"""Fleet-scale parameter sweep over the DDS family on one shared cache.
+
+The sweep engine's pitch is that compositional aggregation makes a
+200+-point what-if study of one architecture cheap: every point flows
+through a single shared quotient cache, so the subtrees a parameter change
+does *not* touch are composed once for the whole sweep.  This benchmark
+runs a 6 x 6 x 6 rate grid (216 points) plus 16 Latin-hypercube samples on
+a two-cluster DDS, reports the cache hit rate, round-trips the columnar
+store, and spot-checks the engine's bit-identity guarantee: points served
+from the shared cache must equal fresh serial evaluations exactly.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.casestudies.dds import (
+    DISK_FAILURE_RATE,
+    PROCESSOR_FAILURE_RATE,
+    dds_sweep_factory,
+)
+from repro.sweep import Prior, SweepConfig, load_result, run_sweep, verify_bit_identical
+
+
+def _small_dds_factory():
+    """The DDS family with the structural axes pinned to a two-cluster model."""
+    factory = dds_sweep_factory()
+    base = dict(factory.base)
+    base["num_clusters"] = 2.0
+    base["disks_per_cluster"] = 3.0
+    return dataclasses.replace(factory, base=base)
+
+
+def _geometric(center: float, count: int) -> list[float]:
+    return [center * 2.0 ** (i - (count - 1) / 2.0) for i in range(count)]
+
+
+GRID = {
+    "processor_failure_rate": _geometric(PROCESSOR_FAILURE_RATE, 6),
+    "disk_failure_rate": _geometric(DISK_FAILURE_RATE, 6),
+    "repair_rate": _geometric(1.0, 6),
+}
+
+
+def test_dds_sweep_216_points_shared_cache(benchmark, tmp_path):
+    """216 grid points + 16 LHS samples through one shared quotient cache."""
+    factory = _small_dds_factory()
+    config = SweepConfig(
+        grid=GRID,
+        priors={"disk_failure_rate": Prior(DISK_FAILURE_RATE / 4, DISK_FAILURE_RATE * 4)},
+        lhs_samples=16,
+        cache="on",
+        root_seed=20260808,
+    )
+    result = benchmark.pedantic(lambda: run_sweep(factory, config), rounds=1, iterations=1)
+
+    totals = result.manifest["totals"]
+    cache = result.manifest["cache"]
+    print(
+        f"\nDDS sweep: {totals['points']} points / {totals['evaluations']} "
+        f"evaluations in {totals['seconds']:.1f}s"
+    )
+    print(
+        f"  shared cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"(hit rate {cache['hit_rate']:.0%}), saved {cache['saved_seconds']:.2f}s"
+    )
+    assert totals["points"] == 216 + 16 >= 200
+    # The whole point of the shared cache: most subtree work is reused.
+    assert cache["hit_rate"] > 0.5
+
+    # Columnar store round-trip.
+    npz_path, manifest_path = result.save(tmp_path / "dds_sweep")
+    reloaded = load_result(tmp_path / "dds_sweep")
+    # Bytewise: NaN columns (unreliability, sim_half_width) defeat array_equal.
+    assert reloaded.points.tobytes() == result.points.tobytes()
+    assert len(reloaded.sensitivities) == 3
+    assert len(reloaded.importance) == 3
+    print(f"  store: {npz_path.name} + {manifest_path.name}")
+
+    # Bit-identity: a systematic sample of points re-evaluated with fresh,
+    # cache-less serial evaluators must match the sweep output exactly.
+    sample = list(range(0, len(result.points), 37))
+    report = verify_bit_identical(factory, result, config, indices=sample)
+    print(
+        f"  bit-identity: {report['checked']} points re-evaluated serially, "
+        f"max |diff| {report['max_abs_diff']:.1e}"
+    )
+    assert report["identical"], report
+
+
+def test_dds_sweep_sensitivity_signs(benchmark):
+    """Sanity of the derived quantities on a tiny sweep: signs and magnitudes."""
+    factory = _small_dds_factory()
+    config = SweepConfig(
+        grid={"disk_failure_rate": [DISK_FAILURE_RATE]},
+        cache="on",
+        root_seed=7,
+    )
+    result = benchmark.pedantic(lambda: run_sweep(factory, config), rounds=1, iterations=1)
+    rows = {row["axis"]: row for row in result.sensitivities}
+    # Unavailability grows with failure rates and shrinks with the repair rate.
+    assert rows["processor_failure_rate"]["derivative"] > 0
+    assert rows["disk_failure_rate"]["derivative"] > 0
+    assert rows["repair_rate"]["derivative"] < 0
+    importance = {row["component"]: row for row in result.importance}
+    for component, row in importance.items():
+        assert row["birnbaum"] >= 0, component
+        assert row["availability_up"] >= row["availability_down"]

@@ -98,6 +98,7 @@ class ArcadeEvaluator:
         plan_parameters=None,
         jobs: int = 1,
         backend: str = "compose",
+        auto_state_limit: float = 5e7,
         sim_seed: int = 0,
         sim_horizon: float = 10_000.0,
         sim_replications: int = 4096,
@@ -106,9 +107,16 @@ class ArcadeEvaluator:
         sim_burn_in: float | None = None,
         sim_confidence: float = 0.99,
     ) -> None:
-        if backend not in ("compose", "simulate"):
-            raise ModelError(f"unknown backend {backend!r} (use 'compose' or 'simulate')")
+        if backend not in ("compose", "simulate", "auto"):
+            raise ModelError(
+                f"unknown backend {backend!r} (use 'compose', 'simulate' or 'auto')"
+            )
         self.backend = backend
+        #: Flat state-space bound above which ``backend="auto"`` falls back
+        #: to simulation (the product of the block state counts bounds what
+        #: any composition order could be asked to explore).
+        self.auto_state_limit = auto_state_limit
+        self._resolved_backend: str | None = None if backend == "auto" else backend
         #: Simulation-backend knobs (ignored under ``backend="compose"``).
         self.sim_seed = sim_seed
         self.sim_horizon = sim_horizon
@@ -156,6 +164,28 @@ class ArcadeEvaluator:
         return self._translated
 
     @property
+    def resolved_backend(self) -> str:
+        """The backend actually used: ``"compose"`` or ``"simulate"``.
+
+        ``backend="auto"`` picks per model: compositional aggregation while
+        the flat state-space bound (the product of the translated block
+        state counts — an upper bound on what any composition order could
+        be asked to explore) stays within ``auto_state_limit``, simulation
+        beyond it.  The sweep engine uses this to route each parameter
+        point to the cheaper backend.
+        """
+        if self._resolved_backend is None:
+            bound = 1.0
+            for block in self.translated.blocks.values():
+                bound *= float(block.num_states)
+                if bound > self.auto_state_limit:
+                    break
+            self._resolved_backend = (
+                "simulate" if bound > self.auto_state_limit else "compose"
+            )
+        return self._resolved_backend
+
+    @property
     def composed(self) -> ComposedSystem:
         """The composed system (I/O-IMC, CTMC and composition statistics)."""
         if self._composed is None:
@@ -178,7 +208,7 @@ class ArcadeEvaluator:
     @property
     def ctmc(self) -> CTMC:
         """The labelled CTMC of the full (repairable) model."""
-        if self.backend == "simulate":
+        if self.resolved_backend == "simulate":
             raise ModelError(
                 "the simulate backend estimates measures statistically and "
                 "builds no CTMC; use backend='compose' for state-space access"
@@ -254,13 +284,13 @@ class ArcadeEvaluator:
     # ------------------------------------------------------------------ #
     def availability(self) -> float:
         """Steady-state availability of the repairable system."""
-        if self.backend == "simulate":
+        if self.resolved_backend == "simulate":
             return 1.0 - self._simulate_unavailability()
         return steady_state_availability(self.ctmc)
 
     def unavailability(self) -> float:
         """Steady-state unavailability of the repairable system."""
-        if self.backend == "simulate":
+        if self.resolved_backend == "simulate":
             return self._simulate_unavailability()
         return steady_state_unavailability(self.ctmc)
 
@@ -275,7 +305,7 @@ class ArcadeEvaluator:
 
     def unreliability(self, mission_time: float, *, assume_no_repair: bool = True) -> float:
         """Probability of at least one system failure within ``mission_time``."""
-        if self.backend == "simulate":
+        if self.resolved_backend == "simulate":
             target = self.model.without_repair() if assume_no_repair else self.model
             simulator = VectorisedSimulator(target, seed=self.sim_seed)
             batch = simulator.run_batch(mission_time, max(self.sim_replications, 2))

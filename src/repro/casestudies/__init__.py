@@ -6,6 +6,7 @@ from .dds import (
     build_dds_evaluator,
     build_dds_model,
     build_dds_modular_evaluator,
+    dds_sweep_factory,
 )
 from .rcs import (
     RCSParameters,
@@ -13,6 +14,7 @@ from .rcs import (
     build_pump_evaluator,
     build_rcs_model,
     build_rcs_modular_evaluator,
+    rcs_sweep_factory,
 )
 from .workloads import (
     fdep_chain_model,
@@ -32,8 +34,10 @@ __all__ = [
     "build_rcs_model",
     "build_rcs_modular_evaluator",
     "dds",
+    "dds_sweep_factory",
     "fdep_chain_model",
     "rcs",
+    "rcs_sweep_factory",
     "redundant_array_model",
     "series_of_parallel_groups",
     "series_of_parallel_model",

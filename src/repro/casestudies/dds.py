@@ -314,6 +314,64 @@ def build_dds_modular_evaluator(
     return ModularEvaluator(subsystems, system_down, reduction=reduction)
 
 
+def dds_parameters_from_values(values) -> DDSParameters:
+    """Resolve a sweep axis-value assignment to :class:`DDSParameters`.
+
+    Structural axes (cluster and disk counts) arrive as floats from the
+    sweep engine and are rounded back to integers.
+    """
+    defaults = DDSParameters()
+    return DDSParameters(
+        num_clusters=int(round(values.get("num_clusters", defaults.num_clusters))),
+        disks_per_cluster=int(
+            round(values.get("disks_per_cluster", defaults.disks_per_cluster))
+        ),
+        processor_failure_rate=float(
+            values.get("processor_failure_rate", defaults.processor_failure_rate)
+        ),
+        disk_failure_rate=float(
+            values.get("disk_failure_rate", defaults.disk_failure_rate)
+        ),
+        repair_rate=float(values.get("repair_rate", defaults.repair_rate)),
+    )
+
+
+def dds_sweep_factory():
+    """The DDS as a sweepable model family (:mod:`repro.sweep`).
+
+    Axes: the three rates (eligible for finite-difference sensitivities)
+    plus the structural ``num_clusters`` / ``disks_per_cluster`` counts.
+    The composition-order hook rebuilds the hierarchical subsystem order for
+    whatever structure a point asks for, and the importance components cover
+    one representative of each subsystem kind (primary processor, first
+    controller, first disk).
+    """
+    from ..sweep import SweepFactory
+
+    defaults = DDSParameters()
+
+    def build(values) -> ArcadeModel:
+        return build_dds_model(dds_parameters_from_values(values))
+
+    def order(translated: TranslatedModel, values) -> CompositionOrder:
+        return dds_composition_order(translated, dds_parameters_from_values(values))
+
+    return SweepFactory(
+        name="dds",
+        build=build,
+        base={
+            "processor_failure_rate": defaults.processor_failure_rate,
+            "disk_failure_rate": defaults.disk_failure_rate,
+            "repair_rate": defaults.repair_rate,
+            "num_clusters": float(defaults.num_clusters),
+            "disks_per_cluster": float(defaults.disks_per_cluster),
+        },
+        order=order,
+        rate_axes=("processor_failure_rate", "disk_failure_rate", "repair_rate"),
+        importance_components=("pp", "dc_1", "d_1"),
+    )
+
+
 def main(argv: list[str] | None = None) -> None:
     """CLI: run the DDS case study under a chosen reduction mode.
 
@@ -398,7 +456,39 @@ def main(argv: list[str] | None = None) -> None:
         default=0,
         help="seed of the simulation RNG stream",
     )
+    from .sweep_cli import add_sweep_arguments, run_sweep_cli
+
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
+
+    if args.sweep:
+        import dataclasses
+
+        # --clusters / --disks-per-cluster pin the structural axes of the
+        # swept family (they stay sweepable via --sweep-grid num_clusters=...).
+        factory = dds_sweep_factory()
+        factory = dataclasses.replace(
+            factory,
+            base={
+                **factory.base,
+                "num_clusters": float(args.clusters),
+                "disks_per_cluster": float(args.disks_per_cluster),
+            },
+        )
+        # Default when no axes are given: a small rate grid around Table 1.
+        run_sweep_cli(
+            factory,
+            args,
+            default_grid={
+                "disk_failure_rate": [
+                    DISK_FAILURE_RATE / 2.0,
+                    DISK_FAILURE_RATE,
+                    DISK_FAILURE_RATE * 2.0,
+                ],
+                "repair_rate": [0.5, 1.0, 2.0],
+            },
+        )
+        return
 
     parameters = DDSParameters(
         num_clusters=args.clusters, disks_per_cluster=args.disks_per_cluster
@@ -484,7 +574,9 @@ __all__ = [
     "build_dds_subsystem_models",
     "controller_name",
     "dds_composition_order",
+    "dds_parameters_from_values",
     "dds_subsystem_groups",
+    "dds_sweep_factory",
     "disk_name",
     "system_down_expression",
 ]

@@ -346,6 +346,67 @@ def build_rcs_modular_evaluator(
     return evaluator
 
 
+def rcs_parameters_from_values(values) -> RCSParameters:
+    """Resolve a sweep axis-value assignment to :class:`RCSParameters`."""
+    defaults = RCSParameters()
+    return RCSParameters(
+        pump_phase_rate=float(values.get("pump_phase_rate", defaults.pump_phase_rate)),
+        valve_failure_rate=float(
+            values.get("valve_failure_rate", defaults.valve_failure_rate)
+        ),
+        filter_failure_rate=float(
+            values.get("filter_failure_rate", defaults.filter_failure_rate)
+        ),
+        heat_exchanger_failure_rate=float(
+            values.get(
+                "heat_exchanger_failure_rate", defaults.heat_exchanger_failure_rate
+            )
+        ),
+        repair_rate=float(values.get("repair_rate", defaults.repair_rate)),
+    )
+
+
+def rcs_sweep_factory():
+    """The flat RCS as a sweepable model family (:mod:`repro.sweep`).
+
+    All five rates are sweep axes (and sensitivity-eligible).  The
+    importance components are the ones the fault tree references with plain
+    ``.down`` literals — mode-specific valve literals (stuck-closed) cannot
+    be conditioned component-wise and are deliberately left out.
+    """
+    from ..sweep import SweepFactory
+
+    defaults = RCSParameters()
+
+    def build(values) -> ArcadeModel:
+        return build_rcs_model(rcs_parameters_from_values(values))
+
+    def order(translated: TranslatedModel, values) -> CompositionOrder:
+        p = rcs_parameters_from_values(values)
+        groups = pump_subsystem_groups(p) + heat_exchange_subsystem_groups(p)
+        return subsystem_order(translated, groups)
+
+    return SweepFactory(
+        name="rcs",
+        build=build,
+        base={
+            "pump_phase_rate": defaults.pump_phase_rate,
+            "valve_failure_rate": defaults.valve_failure_rate,
+            "filter_failure_rate": defaults.filter_failure_rate,
+            "heat_exchanger_failure_rate": defaults.heat_exchanger_failure_rate,
+            "repair_rate": defaults.repair_rate,
+        },
+        order=order,
+        rate_axes=(
+            "pump_phase_rate",
+            "filter_failure_rate",
+            "heat_exchanger_failure_rate",
+            "repair_rate",
+        ),
+        importance_components=("P1", "HX", "FHX"),
+    )
+
+
 def main(argv: list[str] | None = None) -> None:
     """CLI: run the modular RCS analysis under a chosen reduction mode.
 
@@ -418,7 +479,25 @@ def main(argv: list[str] | None = None) -> None:
         default=0,
         help="seed of the simulation RNG stream",
     )
+    from .sweep_cli import add_sweep_arguments, run_sweep_cli
+
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
+
+    if args.sweep:
+        run_sweep_cli(
+            rcs_sweep_factory(),
+            args,
+            default_grid={
+                "filter_failure_rate": [
+                    FILTER_FAILURE_RATE / 2.0,
+                    FILTER_FAILURE_RATE,
+                    FILTER_FAILURE_RATE * 2.0,
+                ],
+                "repair_rate": [0.05, 0.1, 0.2],
+            },
+        )
+        return
 
     if args.backend == "simulate":
         started = time.perf_counter()
@@ -511,5 +590,7 @@ __all__ = [
     "pump_line_components",
     "pump_line_down",
     "pump_subsystem_groups",
+    "rcs_parameters_from_values",
+    "rcs_sweep_factory",
     "subsystem_order",
 ]

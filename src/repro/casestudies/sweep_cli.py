@@ -1,0 +1,191 @@
+"""Shared ``--sweep`` command-line plumbing for the case-study CLIs.
+
+Both case studies expose the same sweep vocabulary::
+
+    python -m repro.casestudies.dds --sweep \\
+        --sweep-grid disk_failure_rate=1e-4,1.6667e-4,2.5e-4 \\
+        --sweep-grid repair_rate=0.5,1.0,2.0 \\
+        --sweep-prior processor_failure_rate=2e-4,1e-3 \\
+        --sweep-lhs 32 --cache on --jobs 2 \\
+        --sweep-out results/dds_sweep
+
+Grid axes are explicit value lists, priors are ``low,high[,log|linear]``
+ranges sampled by Latin hypercube, and the results land in the columnar
+store (``<out>.npz`` + ``<out>.manifest.json``) of :mod:`repro.sweep.store`.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..errors import SweepError
+from ..sweep import Prior, SweepConfig, SweepResult, run_sweep
+
+
+def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the ``--sweep*`` options on a case-study CLI parser."""
+    group = parser.add_argument_group("parameter sweeps")
+    group.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run a parameter sweep over the model family instead of a "
+        "single evaluation",
+    )
+    group.add_argument(
+        "--sweep-grid",
+        action="append",
+        default=[],
+        metavar="AXIS=V1,V2,...",
+        help="grid axis with explicit values (repeatable; full Cartesian "
+        "product across axes)",
+    )
+    group.add_argument(
+        "--sweep-prior",
+        action="append",
+        default=[],
+        metavar="AXIS=LOW,HIGH[,log|linear]",
+        help="uncertainty prior for Latin-hypercube sampling (repeatable; "
+        "default scale: log-uniform)",
+    )
+    group.add_argument(
+        "--sweep-lhs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="number of Latin-hypercube samples over the priors",
+    )
+    group.add_argument(
+        "--sweep-out",
+        default=None,
+        metavar="BASE",
+        help="write the columnar results store to BASE.npz + "
+        "BASE.manifest.json",
+    )
+    group.add_argument(
+        "--root-seed",
+        type=int,
+        default=0,
+        help="root seed of the per-point SeedSequence spawning discipline",
+    )
+    group.add_argument(
+        "--fd-step",
+        type=float,
+        default=0.05,
+        help="relative step of the central-difference rate sensitivities",
+    )
+    group.add_argument(
+        "--no-importance",
+        action="store_true",
+        help="skip the Birnbaum / improvement-potential conditioned "
+        "evaluations",
+    )
+
+
+def parse_grid_specs(specs: list[str]) -> dict[str, list[float]]:
+    """``AXIS=V1,V2,...`` option strings to a grid mapping."""
+    grid: dict[str, list[float]] = {}
+    for spec in specs:
+        axis, _, tail = spec.partition("=")
+        if not axis or not tail:
+            raise SweepError(f"cannot parse grid spec {spec!r} (want AXIS=V1,V2,...)")
+        try:
+            grid[axis] = [float(token) for token in tail.split(",")]
+        except ValueError as error:
+            raise SweepError(f"cannot parse grid spec {spec!r}: {error}") from error
+    return grid
+
+
+def parse_prior_specs(specs: list[str]) -> dict[str, Prior]:
+    """``AXIS=LOW,HIGH[,log|linear]`` option strings to a prior mapping."""
+    priors: dict[str, Prior] = {}
+    for spec in specs:
+        axis, _, tail = spec.partition("=")
+        tokens = tail.split(",") if tail else []
+        if not axis or len(tokens) not in (2, 3):
+            raise SweepError(
+                f"cannot parse prior spec {spec!r} (want AXIS=LOW,HIGH[,log|linear])"
+            )
+        scale = tokens[2].strip().lower() if len(tokens) == 3 else "log"
+        if scale not in ("log", "linear"):
+            raise SweepError(
+                f"cannot parse prior spec {spec!r}: scale must be 'log' or 'linear'"
+            )
+        try:
+            low, high = float(tokens[0]), float(tokens[1])
+        except ValueError as error:
+            raise SweepError(f"cannot parse prior spec {spec!r}: {error}") from error
+        priors[axis] = Prior(low, high, log=scale == "log")
+    return priors
+
+
+def run_sweep_cli(factory, args: argparse.Namespace, *, default_grid=None) -> SweepResult:
+    """Run the sweep described by the parsed CLI options and print a summary."""
+    grid = parse_grid_specs(args.sweep_grid)
+    priors = parse_prior_specs(args.sweep_prior)
+    if not grid and not priors:
+        if default_grid is None:
+            raise SweepError(
+                "the sweep needs at least one --sweep-grid or --sweep-prior axis"
+            )
+        grid = dict(default_grid)
+    config = SweepConfig(
+        grid=grid,
+        priors=priors,
+        lhs_samples=args.sweep_lhs if priors else 0,
+        backend=getattr(args, "backend", "compose"),
+        reduction=getattr(args, "reduction", "strong"),
+        cache=getattr(args, "cache", "on"),
+        jobs=getattr(args, "jobs", 1),
+        root_seed=args.root_seed,
+        fd_step=args.fd_step,
+        importance=not args.no_importance,
+        sim_replications=getattr(args, "replications", 256),
+        sim_rel_error=getattr(args, "rel_error", None),
+        sim_horizon=getattr(args, "sim_horizon", 10_000.0),
+    )
+    result = run_sweep(factory, config)
+    _print_summary(factory.name, result)
+    if args.sweep_out:
+        npz_path, manifest_path = result.save(args.sweep_out)
+        print(f"  store: {npz_path} + {manifest_path}")
+    return result
+
+
+def _print_summary(name: str, result: SweepResult) -> None:
+    totals = result.manifest["totals"]
+    print(
+        f"{name} sweep: {totals['points']} points, "
+        f"{totals['evaluations']} evaluations, {totals['seconds']:.1f}s"
+    )
+    cache = result.manifest.get("cache")
+    if cache:
+        print(
+            f"  cache: {cache['hits']} hits / {cache['misses']} misses "
+            f"(hit rate {cache['hit_rate']:.0%}), saved {cache['saved_seconds']:.2f}s"
+        )
+    for row in result.sensitivities:
+        print(
+            f"  dU/d {row['axis']}: {row['derivative']:+.3e} "
+            f"(elasticity {row['elasticity']:+.3f})"
+        )
+    for row in result.importance:
+        print(
+            f"  importance {row['component']}: Birnbaum {row['birnbaum']:.3e}, "
+            f"improvement potential {row['improvement_potential']:.3e}"
+        )
+    distributions = result.manifest.get("distributions", {}).get("lhs")
+    if distributions:
+        summary = distributions["unavailability"]
+        quantiles = summary["quantiles"]
+        print(
+            f"  LHS unavailability: mean {summary['mean']:.3e}, "
+            f"90% interval [{quantiles['0.05']:.3e}, {quantiles['0.95']:.3e}]"
+        )
+
+
+__all__ = [
+    "add_sweep_arguments",
+    "parse_grid_specs",
+    "parse_prior_specs",
+    "run_sweep_cli",
+]

@@ -352,6 +352,16 @@ class QuotientCache:
             "saved_seconds": round(self.saved_seconds, 4),
         }
 
+    def snapshot(self) -> tuple[int, int, int, float]:
+        """Current ``(hits, misses, stores, saved_seconds)`` counters.
+
+        Callers that share one cache across many evaluations (the sweep
+        engine evaluates thousands of points against a single instance) take
+        a snapshot before and after each evaluation and report the
+        difference as that evaluation's cache traffic.
+        """
+        return (self.hits, self.misses, self.stores, self.saved_seconds)
+
 
 _UNSET = object()
 

@@ -17,6 +17,7 @@ hand-craft a hierarchical decomposition:
   and the ``--order auto`` flag of the case-study CLIs.
 """
 
+from ..errors import PlannerError
 from .costmodel import (
     CostModel,
     CostParameters,
@@ -44,6 +45,7 @@ __all__ = [
     "CostState",
     "DEFAULT_BUDGET",
     "PlanReport",
+    "PlannerError",
     "SearchResult",
     "affinity_groups",
     "anneal_order",

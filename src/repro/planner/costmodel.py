@@ -38,6 +38,7 @@ from typing import Iterator
 from ..arcade.semantics import TranslatedModel
 from ..composer import CompositionOrder, CompositionStatistics
 from ..composer.ordering import flatten_order
+from ..errors import PlannerError
 
 #: Reachability damping applied once per visible action shared between the
 #: two operands of a composition step.  Fitted (via :meth:`CostModel.calibrated`)
@@ -95,8 +96,34 @@ def save_cost_parameters(
 
 
 def load_cost_parameters(path: "str | Path") -> CostParameters:
-    """Load damping factors persisted by :func:`save_cost_parameters`."""
-    return CostParameters.from_dict(json.loads(Path(path).read_text()))
+    """Load damping factors persisted by :func:`save_cost_parameters`.
+
+    A missing or unreadable file, invalid JSON, or a payload without the two
+    damping factors raises :class:`~repro.errors.PlannerError` naming the
+    path — a sweep that points ``plan_parameters=`` at a stale artifact gets
+    a one-line diagnosis instead of a raw traceback mid-run.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise PlannerError(
+            f"cannot read cost-parameter file {path}: {error}"
+        ) from error
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise PlannerError(
+            f"corrupt cost-parameter file {path}: not valid JSON ({error})"
+        ) from error
+    try:
+        return CostParameters.from_dict(data)
+    except (KeyError, TypeError, ValueError) as error:
+        raise PlannerError(
+            f"corrupt cost-parameter file {path}: missing or malformed "
+            f"damping factors ({error!r}); expected keys 'sync_damping' and "
+            "'hide_damping' with numeric values"
+        ) from error
 
 
 def resolve_cost_parameters(

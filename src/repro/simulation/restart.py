@@ -336,12 +336,16 @@ class RestartSimulator:
         batch_size: int = 256,
         max_roots: int = 1 << 16,
         batches: int = 32,
+        abs_error: float = 0.0,
     ) -> StoppingReport:
         """Add root batches until the unavailability CI is tight enough.
 
         Per-root estimates are iid and the engine stream continues across
         :meth:`run` calls, so successive batches pool into one batch-means
-        interval via the generic stopping rule.
+        interval via the generic stopping rule.  ``abs_error`` is the
+        absolute half-width fallback for degenerate all-zero estimates (no
+        root ever saw the system down) — see
+        :func:`repro.simulation.stats.run_until_relative_error`.
         """
 
         def draw(count: int) -> np.ndarray:
@@ -356,6 +360,7 @@ class RestartSimulator:
             batch_size=batch_size,
             max_replications=max_roots,
             batches=batches,
+            abs_error=abs_error,
         )
 
 

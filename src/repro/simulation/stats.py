@@ -112,6 +112,9 @@ class StoppingReport:
     achieved: bool
     rounds: int
     replications: int
+    #: Why the run stopped: ``"relative-error target reached"``,
+    #: ``"replication budget exhausted"`` or a degenerate-mean message.
+    reason: str = ""
 
 
 def run_until_relative_error(
@@ -122,6 +125,7 @@ def run_until_relative_error(
     batch_size: int = 512,
     max_replications: int = 1 << 20,
     batches: int = 32,
+    abs_error: float = 0.0,
 ) -> StoppingReport:
     """Sequential stopping rule: sample batches until the CI is tight enough.
 
@@ -131,6 +135,16 @@ def run_until_relative_error(
     stops when its relative half-width is at most ``rel_error``, or when
     ``max_replications`` values have been drawn (``achieved=False``).
 
+    A ~0 estimate mean — e.g. a short-horizon unreliability where no
+    replication has failed yet — makes the *relative* half-width undefined
+    (``inf`` for an exactly zero mean) or uselessly large (for a noisy
+    near-zero mean), and further batches cannot fix that, so the rule would
+    otherwise burn the whole replication budget.  The **absolute** half-width
+    tolerance ``abs_error`` is the fallback: once ``half_width <= abs_error``
+    the run stops early with ``achieved=False`` and a ``reason`` naming the
+    degeneracy.  The default ``abs_error=0.0`` still catches the all-zeros
+    case (spread 0 gives half-width 0) on the very first round.
+
     The rule always terminates: each round adds ``batch_size`` replications
     and the replication budget is finite.
     """
@@ -138,6 +152,8 @@ def run_until_relative_error(
         raise ValueError(f"rel_error must be positive, got {rel_error}")
     if batch_size < 2:
         raise ValueError("batch_size must be at least 2")
+    if abs_error < 0:
+        raise ValueError(f"abs_error must be non-negative, got {abs_error}")
     collected: list[np.ndarray] = []
     total = 0
     rounds = 0
@@ -151,13 +167,33 @@ def run_until_relative_error(
         interval = batch_means(
             np.concatenate(collected), batches=batches, confidence=confidence
         )
-        if interval.relative_half_width <= rel_error:
+        relative = interval.relative_half_width
+        if math.isfinite(relative) and relative <= rel_error:
             return StoppingReport(
                 interval=interval,
                 target_relative_error=rel_error,
                 achieved=True,
                 rounds=rounds,
                 replications=total,
+                reason="relative-error target reached",
+            )
+        if interval.half_width <= abs_error:
+            degeneracy = (
+                "relative half-width is undefined"
+                if not math.isfinite(relative)
+                else f"relative half-width {relative:.3e} cannot reach the target"
+            )
+            return StoppingReport(
+                interval=interval,
+                target_relative_error=rel_error,
+                achieved=False,
+                rounds=rounds,
+                replications=total,
+                reason=(
+                    f"degenerate mean (estimate ~0): {degeneracy}; stopped at "
+                    f"absolute half-width {interval.half_width:.3e} <= "
+                    f"{abs_error:.3e}"
+                ),
             )
     assert interval is not None
     return StoppingReport(
@@ -166,6 +202,7 @@ def run_until_relative_error(
         achieved=False,
         rounds=rounds,
         replications=total,
+        reason="replication budget exhausted",
     )
 
 

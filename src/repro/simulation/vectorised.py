@@ -812,8 +812,14 @@ class VectorisedSimulator:
         batch_size: int = 1024,
         max_replications: int = 1 << 20,
         batches: int = 32,
+        abs_error: float = 0.0,
     ) -> StoppingReport:
-        """Keep adding batches until the unavailability CI is tight enough."""
+        """Keep adding batches until the unavailability CI is tight enough.
+
+        ``abs_error`` is the absolute half-width fallback for degenerate
+        all-zero estimates (no replication ever saw the system down) — see
+        :func:`repro.simulation.stats.run_until_relative_error`.
+        """
         state = {"next": 0}
 
         def draw(count: int) -> np.ndarray:
@@ -830,6 +836,7 @@ class VectorisedSimulator:
             batch_size=batch_size,
             max_replications=max_replications,
             batches=batches,
+            abs_error=abs_error,
         )
 
 

@@ -1,0 +1,63 @@
+"""Fleet-scale parameter sweeps over Arcade model families.
+
+The sweep engine asks many what-if questions of one architecture through a
+single shared quotient cache: grid axes and Latin-hypercube samples over
+rate priors are enumerated by :mod:`repro.sweep.space`, every point is
+evaluated by :mod:`repro.sweep.driver` (compositional or simulation backend,
+per-point derived seeds), finite-difference sensitivities and Birnbaum /
+improvement-potential component importance come from
+:mod:`repro.sweep.sensitivity`, and everything lands in the columnar store
+of :mod:`repro.sweep.store` (structured ``.npz`` + JSON manifest).
+"""
+
+from ..errors import SweepError
+from .driver import (
+    PointResult,
+    SweepConfig,
+    SweepFactory,
+    enumerate_points,
+    evaluate_point,
+    run_sweep,
+    verify_bit_identical,
+)
+from .sensitivity import (
+    ImportanceRow,
+    SensitivityRow,
+    central_difference,
+    condition_expression,
+    conditioned_model,
+)
+from .space import Prior, check_axis_names, grid_points, latin_hypercube, resolve_prior
+from .store import (
+    RESERVED_POINT_FIELDS,
+    STORE_VERSION,
+    SweepResult,
+    load_result,
+    save_result,
+)
+
+__all__ = [
+    "ImportanceRow",
+    "PointResult",
+    "Prior",
+    "RESERVED_POINT_FIELDS",
+    "STORE_VERSION",
+    "SensitivityRow",
+    "SweepConfig",
+    "SweepError",
+    "SweepFactory",
+    "SweepResult",
+    "central_difference",
+    "check_axis_names",
+    "condition_expression",
+    "conditioned_model",
+    "enumerate_points",
+    "evaluate_point",
+    "grid_points",
+    "latin_hypercube",
+    "load_result",
+    "resolve_prior",
+    "run_sweep",
+    "save_result",
+    "verify_bit_identical",
+]

@@ -1,0 +1,212 @@
+"""Sensitivities and component-importance measures for parameter sweeps.
+
+Two families of derived quantities ride on top of the raw per-point
+availability results of :mod:`repro.sweep.driver`:
+
+**Finite-difference rate sensitivities.**  For a rate axis ``r`` with base
+value ``v``, the driver evaluates the model at ``v·(1-h)`` and ``v·(1+h)``
+and reports the central difference
+
+    dU/dr ≈ (U(v·(1+h)) - U(v·(1-h))) / (2·v·h)
+
+together with the *elasticity* ``(dU/dr)·(v/U)`` — the percent change of
+unavailability per percent change of the rate, which is the unit-free number
+to rank axes by.  Both conditioned evaluations run through the sweep's
+shared quotient cache, so the subtrees unaffected by the perturbed rate are
+never rebuilt.
+
+**Component importance via conditioned evaluations.**  The Birnbaum
+importance of component ``c`` is the derivative of the system availability
+with respect to the component's availability; for a (possibly dependent)
+repairable system it is computed by *conditioning the structure function*:
+
+    I_B(c)  = A_sys[φ with c forced up] - A_sys[φ with c forced down]
+    I_IP(c) = A_sys[φ with c forced up] - A_sys          (improvement potential)
+
+Forcing is applied to the fault tree only — every literal of ``c`` in the
+``SYSTEM DOWN`` expression is replaced by the corresponding constant and the
+tree is simplified — while the component itself keeps failing, being
+repaired and occupying its repair unit exactly as before.  That is the
+correct generalisation when components are *dependent* (shared FCFS repair
+queues couple them): the conditioning changes what counts as system failure,
+not the stochastic behaviour of the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arcade.expressions import And, Expression, KOutOfN, Literal, Or
+from ..arcade.model import ArcadeModel
+from ..errors import SweepError
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Central-difference sensitivity of unavailability to one rate axis."""
+
+    axis: str
+    value: float
+    step: float  # relative step h
+    unavailability_lower: float  # at value * (1 - h)
+    unavailability_upper: float  # at value * (1 + h)
+    derivative: float  # dU/d(axis)
+    elasticity: float  # (dU/d axis) * value / U
+
+
+@dataclass(frozen=True)
+class ImportanceRow:
+    """Birnbaum / improvement-potential importance of one component."""
+
+    component: str
+    availability_up: float  # system availability with the component forced up
+    availability_down: float  # ... forced down
+    birnbaum: float
+    improvement_potential: float
+
+
+# --------------------------------------------------------------------------- #
+# fault-tree conditioning
+# --------------------------------------------------------------------------- #
+def condition_expression(
+    expression: Expression, component: str, *, failed: bool
+) -> "Expression | bool":
+    """The fault tree with ``component``'s failure indicator fixed.
+
+    ``failed=False`` forces the component up: every literal referencing it
+    becomes ``False`` (no failure mode can hold).  ``failed=True`` forces it
+    down: a plain ``c.down`` literal becomes ``True``; a *mode-specific*
+    literal (``c.down.m2``) cannot be conditioned by a component-level
+    "failed" — which mode failed is unspecified — and raises
+    :class:`~repro.errors.SweepError`.
+
+    The result is simplified on the way up (constants absorbed, voting
+    thresholds re-counted) and collapses to a plain ``bool`` when the whole
+    tree becomes constant.
+    """
+    if isinstance(expression, Literal):
+        if expression.component != component:
+            return expression
+        if not failed:
+            return False
+        if expression.mode is not None:
+            raise SweepError(
+                f"cannot force {component!r} down: the fault tree references "
+                f"its specific failure mode {expression.mode!r}, and a "
+                "component-level conditioning does not pick a mode"
+            )
+        return True
+    if isinstance(expression, And):
+        children = []
+        for child in expression.children:
+            conditioned = condition_expression(child, component, failed=failed)
+            if conditioned is False:
+                return False
+            if conditioned is True:
+                continue
+            children.append(conditioned)
+        if not children:
+            return True
+        if len(children) == 1:
+            return children[0]
+        return And(children)
+    if isinstance(expression, Or):
+        children = []
+        for child in expression.children:
+            conditioned = condition_expression(child, component, failed=failed)
+            if conditioned is True:
+                return True
+            if conditioned is False:
+                continue
+            children.append(conditioned)
+        if not children:
+            return False
+        if len(children) == 1:
+            return children[0]
+        return Or(children)
+    if isinstance(expression, KOutOfN):
+        threshold = expression.k
+        children = []
+        for child in expression.children:
+            conditioned = condition_expression(child, component, failed=failed)
+            if conditioned is True:
+                threshold -= 1
+            elif conditioned is not False:
+                children.append(conditioned)
+        if threshold <= 0:
+            return True
+        if threshold > len(children):
+            return False
+        if threshold == len(children):
+            return children[0] if len(children) == 1 else And(children)
+        if threshold == 1:
+            return children[0] if len(children) == 1 else Or(children)
+        return KOutOfN(threshold, children)
+    raise SweepError(f"cannot condition unknown expression node {type(expression)!r}")
+
+
+def conditioned_model(
+    model: ArcadeModel, component: str, *, failed: bool
+) -> "ArcadeModel | bool":
+    """A copy of ``model`` whose ``SYSTEM DOWN`` tree has ``component`` fixed.
+
+    Returns a plain ``bool`` when the conditioned tree is constant: ``True``
+    means the system is *always down* under the conditioning (availability
+    0), ``False`` means it can never go down (availability 1).
+
+    The components, repair units and spare units are shared with the
+    original (they are immutable building blocks); only the failure
+    criterion differs, so replicated subtrees still hit the sweep's shared
+    quotient cache — conditioning changes the gate layer, not the fleet.
+    """
+    if model.system_down is None:
+        raise SweepError(f"{model.name}: no SYSTEM DOWN expression to condition")
+    if component not in model.components:
+        raise SweepError(f"{model.name}: unknown component {component!r}")
+    conditioned = condition_expression(model.system_down, component, failed=failed)
+    if isinstance(conditioned, bool):
+        return conditioned
+    state = "down" if failed else "up"
+    clone = ArcadeModel(name=f"{model.name}__{component}_{state}")
+    clone.components = dict(model.components)
+    clone.repair_units = dict(model.repair_units)
+    clone.spare_units = dict(model.spare_units)
+    clone.system_down = conditioned
+    return clone
+
+
+def central_difference(
+    axis: str,
+    value: float,
+    lower_unavailability: float,
+    upper_unavailability: float,
+    base_unavailability: float,
+    *,
+    step: float,
+) -> SensitivityRow:
+    """Assemble one sensitivity row from the two shifted evaluations."""
+    if value == 0.0:
+        raise SweepError(f"cannot take a relative step on axis {axis!r} at value 0")
+    derivative = (upper_unavailability - lower_unavailability) / (2.0 * value * step)
+    if base_unavailability != 0.0:
+        elasticity = derivative * value / base_unavailability
+    else:
+        elasticity = float("nan")
+    return SensitivityRow(
+        axis=axis,
+        value=value,
+        step=step,
+        unavailability_lower=lower_unavailability,
+        unavailability_upper=upper_unavailability,
+        derivative=derivative,
+        elasticity=elasticity,
+    )
+
+
+__all__ = [
+    "ImportanceRow",
+    "SensitivityRow",
+    "central_difference",
+    "condition_expression",
+    "conditioned_model",
+]

@@ -277,3 +277,101 @@ class TestCostParameterPersistence:
         system = compose_model(translated, order="auto", plan_parameters=str(path))
         assert system.plan_report is not None
         assert system.ctmc.num_states > 0
+
+
+class TestMergeFromRejection:
+    """A cross-process digest collision must abort the import atomically."""
+
+    def test_forced_collision_leaves_parent_entries_and_counters_untouched(self):
+        translated, order = _small_dds()
+        parent = QuotientCache()
+        compose_model(translated, order=order, cache=parent)
+        worker = QuotientCache()
+        compose_model(translated, order=order, cache=worker)
+
+        # Forge a collision: make some worker digest point at an automaton
+        # that is NOT isomorphic to the parent's representative of the same
+        # digest (different state count guarantees non-isomorphism).
+        collision = None
+        for parent_digest, (mine, _) in parent._leaf_representatives.items():
+            for candidate, slots in worker._leaf_representatives.values():
+                if candidate.num_states != mine.num_states:
+                    collision = (parent_digest, (candidate, slots))
+                    break
+            if collision:
+                break
+        assert collision is not None, "need two non-isomorphic representatives"
+        worker._leaf_representatives[collision[0]] = collision[1]
+
+        entries_before = {key: id(entry) for key, entry in parent._entries.items()}
+        sizes_before = dict(parent._before_sizes)
+        representatives_before = {
+            digest: id(rep[0]) for digest, rep in parent._leaf_representatives.items()
+        }
+        counters_before = parent.snapshot()
+
+        assert parent.merge_from(worker) is False
+
+        # Nothing imported: entries, witnesses, size hints and counters are
+        # exactly the pre-merge state (identity, not just equality).
+        assert {key: id(entry) for key, entry in parent._entries.items()} == entries_before
+        assert dict(parent._before_sizes) == sizes_before
+        assert {
+            digest: id(rep[0]) for digest, rep in parent._leaf_representatives.items()
+        } == representatives_before
+        assert parent.snapshot() == counters_before
+
+    def test_honest_merge_imports_and_sums_counters(self):
+        translated, order = _small_dds()
+        parent = QuotientCache()
+        worker = QuotientCache()
+        compose_model(translated, order=order, cache=worker)
+        worker_counters = worker.snapshot()
+        assert parent.merge_from(worker) is True
+        assert parent.snapshot() == worker_counters
+        assert set(parent._entries) == set(worker._entries)
+
+
+class TestCostParameterFailureModes:
+    def test_missing_file_raises_planner_error_naming_the_path(self, tmp_path):
+        from repro.planner import PlannerError
+
+        missing = tmp_path / "does-not-exist.json"
+        with pytest.raises(PlannerError, match="does-not-exist.json"):
+            load_cost_parameters(missing)
+
+    def test_corrupt_json_raises_planner_error(self, tmp_path):
+        from repro.planner import PlannerError
+
+        path = tmp_path / "corrupt.json"
+        path.write_text("{this is not json")
+        with pytest.raises(PlannerError, match="corrupt.json.*not valid JSON"):
+            load_cost_parameters(path)
+
+    def test_missing_damping_keys_raise_planner_error(self, tmp_path):
+        import json as json_module
+
+        from repro.planner import PlannerError
+
+        path = tmp_path / "partial.json"
+        path.write_text(json_module.dumps({"sync_damping": 0.5}))
+        with pytest.raises(PlannerError, match="sync_damping.*hide_damping"):
+            load_cost_parameters(path)
+
+    def test_non_numeric_values_raise_planner_error(self, tmp_path):
+        import json as json_module
+
+        from repro.planner import PlannerError
+
+        path = tmp_path / "bad-types.json"
+        path.write_text(
+            json_module.dumps({"sync_damping": "high", "hide_damping": 0.5})
+        )
+        with pytest.raises(PlannerError, match="bad-types.json"):
+            load_cost_parameters(path)
+
+    def test_resolve_propagates_the_planner_error(self, tmp_path):
+        from repro.planner import PlannerError, resolve_cost_parameters
+
+        with pytest.raises(PlannerError):
+            resolve_cost_parameters(str(tmp_path / "gone.json"))

@@ -146,3 +146,64 @@ def test_stopping_rule_respects_replication_budget():
     assert not report.achieved
     assert report.replications <= 1024
     assert report.interval.relative_half_width > 0.001
+
+
+def test_stopping_rule_degenerate_zero_mean_stops_immediately():
+    """An all-zeros estimator must not burn the replication budget.
+
+    A ~0 mean makes the relative half-width infinite, so the relative-error
+    target can never be reached; the rule falls back to the absolute
+    half-width tolerance (default 0.0, satisfied by a zero-spread sample)
+    and stops on the first round with an explanatory reason.
+    """
+    calls = []
+
+    def draw(count: int) -> np.ndarray:
+        calls.append(count)
+        return np.zeros(count)
+
+    report = run_until_relative_error(
+        draw, rel_error=0.01, batch_size=64, max_replications=100_000
+    )
+    assert not report.achieved
+    assert report.rounds == 1
+    assert report.replications == 64  # one batch, not the 100k budget
+    assert len(calls) == 1
+    assert "degenerate" in report.reason
+    assert report.interval.mean == 0.0
+    assert report.interval.relative_half_width == math.inf
+
+
+def test_stopping_rule_absolute_tolerance_for_near_zero_mean():
+    """abs_error accepts noisy near-zero estimates once the CI is tight enough."""
+    rng = make_generator(11)
+    report = run_until_relative_error(
+        lambda count: rng.normal(0.0, 1e-6, count),
+        rel_error=0.01,
+        batch_size=512,
+        abs_error=1e-6,
+        max_replications=65_536,
+    )
+    assert not report.achieved
+    assert report.interval.half_width <= 1e-6
+    assert report.replications < 65_536
+    assert "absolute half-width" in report.reason
+
+
+def test_stopping_rule_reports_budget_exhaustion_reason():
+    rng = make_generator(12)
+    report = run_until_relative_error(
+        lambda count: (rng.random(count) < 0.01).astype(float),
+        rel_error=0.001,
+        batch_size=128,
+        max_replications=1024,
+    )
+    assert not report.achieved
+    assert report.reason == "replication budget exhausted"
+
+
+def test_stopping_rule_rejects_negative_abs_error():
+    with pytest.raises(ValueError):
+        run_until_relative_error(
+            lambda count: np.zeros(count), rel_error=0.1, abs_error=-1.0
+        )
