@@ -37,6 +37,9 @@ from repro.arcade.semantics import translate_model
 from repro.baselines import flat_compose
 from repro.baselines.gspn import build_dds_gspn, reachable_markings
 from repro.casestudies.dds import DDSParameters, build_dds_evaluator, build_dds_model
+from repro.telemetry import get_logger
+
+log = get_logger("bench.dds_statespace")
 
 PAPER_FINAL_CTMC = (2100, 15120)
 PAPER_LARGEST_INTERMEDIATE = (6522, 33486)
@@ -149,29 +152,36 @@ def _run_point(parameters, reduction, order, cache, row, *, jobs: int = 1):
     )
     availability = evaluator.availability()
     elapsed = time.perf_counter() - started
-    statistics = evaluator.composed.statistics
+    # The telemetry-schema statistics (CompositionStatistics.to_dict());
+    # the flat row keys below are the historical aliases of those fields.
+    stats = evaluator.composed.statistics.to_dict()
     row.update(
         {
             "availability": availability,
             "ctmc_states": evaluator.ctmc.num_states,
             "ctmc_transitions": evaluator.ctmc.num_transitions,
-            "peak_intermediate_states": statistics.largest_intermediate_states,
-            "composition_steps": len(statistics.steps),
-            "compose_seconds": round(statistics.total_compose_seconds, 4),
-            "reduce_seconds": round(statistics.total_reduce_seconds, 4),
+            "peak_intermediate_states": stats["largest_intermediate_states"],
+            "composition_steps": stats["num_steps"],
+            "compose_seconds": round(stats["total_compose_seconds"], 4),
+            "reduce_seconds": round(stats["total_reduce_seconds"], 4),
             "wall_clock_seconds": round(elapsed, 4),
+            "statistics": {
+                key: value for key, value in stats.items() if key != "steps"
+            },
         }
     )
     if jobs > 1:
-        row["jobs"] = statistics.jobs
+        row["jobs"] = stats["jobs"]
     if evaluator.cache is not None:
-        row["cache_hits"] = statistics.cache_hits
-        row["cache_saved_seconds"] = round(statistics.cache_saved_seconds, 4)
+        row["cache_hits"] = stats["cache_hits"]
+        row["cache_saved_seconds"] = round(stats["cache_saved_seconds"], 4)
         row["cache_summary"] = evaluator.cache.summary()
     report = evaluator.composed.plan_report
     if report is not None:
-        row["plan_seconds"] = round(report.wall_clock_seconds, 4)
-        row["plan_predicted_peak"] = report.predicted_peak_states
+        plan = report.to_dict()
+        row["plan"] = plan
+        row["plan_seconds"] = round(plan["wall_clock_seconds"], 4)
+        row["plan_predicted_peak"] = plan["predicted_peak_states"]
     return row
 
 
@@ -215,12 +225,15 @@ def growth_curve_sweep(
                     _run_point(parameters, reduction, order, cache, row)
                     rows.append(row)
                     hits = row.get("cache_hits")
-                    print(
-                        f"clusters={num_clusters} {reduction:9s} {order:6s} "
-                        f"cache={cache_setting:3s} "
-                        f"peak {row['peak_intermediate_states']:>8,d}  "
-                        f"wall {row['wall_clock_seconds']:>7.2f}s"
-                        + (f"  hits {hits}" if hits is not None else "")
+                    log.info(
+                        "clusters=%s %-9s %-6s cache=%-3s peak %8s  wall %7.2fs%s",
+                        num_clusters,
+                        reduction,
+                        order,
+                        cache_setting,
+                        f"{row['peak_intermediate_states']:,d}",
+                        row["wall_clock_seconds"],
+                        f"  hits {hits}" if hits is not None else "",
                     )
     return rows
 
@@ -289,11 +302,14 @@ def disk_growth_sweep(
             row["cache_off"]["availability"] == row["cache_on"]["availability"]
         )
         rows.append(row)
-        print(
-            f"disks={disks_per_cluster} peak {row['cache_off']['peak_intermediate_states']:>9,d}  "
-            f"off {off_seconds:7.2f}s  on {on_seconds:7.2f}s  "
-            f"speedup {row['compose_reduce_speedup']}x  "
-            f"flat: {'exceeded budget' if flat.exceeded_budget else flat.states}"
+        log.info(
+            "disks=%s peak %9s  off %7.2fs  on %7.2fs  speedup %sx  flat: %s",
+            disks_per_cluster,
+            f"{row['cache_off']['peak_intermediate_states']:,d}",
+            off_seconds,
+            on_seconds,
+            row["compose_reduce_speedup"],
+            "exceeded budget" if flat.exceeded_budget else flat.states,
         )
     return rows
 
@@ -363,28 +379,54 @@ def parallel_speedup_sweep(
                 row["availability"] == baseline_availability
             )
             rows.append(row)
-            print(
-                f"jobs={workers} cache={cache_setting:3s} "
-                f"compose+reduce {compose_reduce:7.2f}s  "
-                f"speedup {row['compose_reduce_speedup']}x  "
-                f"bit-identical {row['bit_identical_availability']}"
+            log.info(
+                "jobs=%s cache=%-3s compose+reduce %7.2fs  speedup %sx  "
+                "bit-identical %s",
+                workers,
+                cache_setting,
+                compose_reduce,
+                row["compose_reduce_speedup"],
+                row["bit_identical_availability"],
             )
     return rows
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
     """Write the growth sweeps as JSON (CI artifact ``dds-growth-curve``)."""
+    import argparse
     import json
     import platform
 
-    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("dds-growth-curve.json")
-    rows = growth_curve_sweep()
-    disk_rows = disk_growth_sweep()
-    parallel_rows = parallel_speedup_sweep()
+    from repro.telemetry import (
+        SCHEMA_VERSION,
+        add_observability_arguments,
+        configure_logging,
+        telemetry_session,
+    )
+
+    parser = argparse.ArgumentParser(
+        description="Sweep the parametric DDS growth curve and write JSON"
+    )
+    parser.add_argument(
+        "output",
+        nargs="?",
+        default="dds-growth-curve.json",
+        help="path of the JSON artifact (default: dds-growth-curve.json)",
+    )
+    add_observability_arguments(parser)
+    args = parser.parse_args(argv)
+    configure_logging(args)
+
+    output = Path(args.output)
+    with telemetry_session("bench_dds_statespace", args):
+        rows = growth_curve_sweep()
+        disk_rows = disk_growth_sweep()
+        parallel_rows = parallel_speedup_sweep()
     output.write_text(
         json.dumps(
             {
                 "benchmark": "dds_growth_curve",
+                "schema_version": SCHEMA_VERSION,
                 "python": platform.python_version(),
                 "greedy_max_clusters": GREEDY_MAX_CLUSTERS,
                 "rows": rows,
@@ -395,7 +437,7 @@ def main() -> None:
         )
         + "\n"
     )
-    print(f"wrote {output}")
+    log.info("wrote %s", output)
 
 
 if __name__ == "__main__":

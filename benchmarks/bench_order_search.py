@@ -60,6 +60,14 @@ from repro.casestudies.rcs import (
     pump_subsystem_groups,
     subsystem_order,
 )
+from repro.telemetry import (
+    add_observability_arguments,
+    configure_logging,
+    get_logger,
+    telemetry_session,
+)
+
+log = get_logger("bench.order_search")
 
 
 def run_policy(model, order, *, label: str) -> dict:
@@ -100,10 +108,13 @@ def race(name: str, model, hierarchical_order_value=None) -> dict:
         rows.append(run_policy(model, order, label=label))
         row = rows[-1]
         plan = f"  plan {row['plan_seconds']:.2f}s" if "plan_seconds" in row else ""
-        print(
-            f"  {label:12s} peak {row['peak_intermediate_states']:>8,d}   "
-            f"wall {row['wall_clock_seconds']:>7.2f}s{plan}   "
-            f"unavailability {row['unavailability']:.6e}"
+        log.info(
+            "  %-12s peak %8s   wall %7.2fs%s   unavailability %.6e",
+            label,
+            f"{row['peak_intermediate_states']:,d}",
+            row["wall_clock_seconds"],
+            plan,
+            row["unavailability"],
         )
     reference = rows[0]["unavailability"]
     for row in rows[1:]:
@@ -128,39 +139,42 @@ def main() -> None:
         help="DDS disk clusters (default 1; 6 = the paper's instance, where "
         "the greedy baseline alone takes >15 minutes)",
     )
+    add_observability_arguments(parser)
     args = parser.parse_args()
+    configure_logging(args)
 
     races = []
 
-    print(f"DDS ({args.clusters} clusters)")
-    parameters = DDSParameters(num_clusters=args.clusters)
-    dds = build_dds_model(parameters)
-    dds_hier = dds_composition_order(translate_model(dds), parameters)
-    races.append(race("dds", dds, dds_hier))
+    with telemetry_session("bench_order_search", args):
+        log.info("DDS (%s clusters)", args.clusters)
+        parameters = DDSParameters(num_clusters=args.clusters)
+        dds = build_dds_model(parameters)
+        dds_hier = dds_composition_order(translate_model(dds), parameters)
+        races.append(race("dds", dds, dds_hier))
 
-    print("RCS pump subsystem")
-    pumps = build_pump_subsystem()
-    pump_hier = subsystem_order(translate_model(pumps), pump_subsystem_groups())
-    races.append(race("rcs_pumps", pumps, pump_hier))
+        log.info("RCS pump subsystem")
+        pumps = build_pump_subsystem()
+        pump_hier = subsystem_order(translate_model(pumps), pump_subsystem_groups())
+        races.append(race("rcs_pumps", pumps, pump_hier))
 
-    print("RCS heat-exchange subsystem")
-    heat = build_heat_exchange_subsystem()
-    heat_hier = subsystem_order(
-        translate_model(heat), heat_exchange_subsystem_groups()
-    )
-    races.append(race("rcs_heat_exchange", heat, heat_hier))
+        log.info("RCS heat-exchange subsystem")
+        heat = build_heat_exchange_subsystem()
+        heat_hier = subsystem_order(
+            translate_model(heat), heat_exchange_subsystem_groups()
+        )
+        races.append(race("rcs_heat_exchange", heat, heat_hier))
 
-    for family, generator, seed in (
-        ("differential_base", random_arcade_model, 1),
-        ("differential_erlang", random_erlang_model, 2),
-        ("differential_priority", random_priority_model, 1),
-        ("differential_fdep", random_fdep_model, 1),
-    ):
-        print(f"{family} (seed {seed}) — no hierarchical order exists")
-        races.append(race(family, generator(seed)))
+        for family, generator, seed in (
+            ("differential_base", random_arcade_model, 1),
+            ("differential_erlang", random_erlang_model, 2),
+            ("differential_priority", random_priority_model, 1),
+            ("differential_fdep", random_fdep_model, 1),
+        ):
+            log.info("%s (seed %s) — no hierarchical order exists", family, seed)
+            races.append(race(family, generator(seed)))
 
     args.output.write_text(json.dumps({"races": races}, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    log.info("wrote %s", args.output)
 
 
 if __name__ == "__main__":

@@ -31,7 +31,12 @@ CI uploads the files as the ``dds-phase-timings`` artifact (see
 
 Run with::
 
-    python benchmarks/export_dds_timings.py [output.json]
+    python benchmarks/export_dds_timings.py [output.json] \\
+        [--telemetry run.jsonl] [--verbose | --quiet]
+
+``--telemetry`` additionally records the span/metric stream of every
+pipeline run (schema of :mod:`repro.telemetry`); render it afterwards with
+``python -m repro.telemetry report run.jsonl``.
 """
 
 # Allow running straight from a checkout: put src/ on the path when the
@@ -44,9 +49,20 @@ try:
 except ImportError:
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+import argparse
 import json
 import platform
 import time
+
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    add_observability_arguments,
+    configure_logging,
+    get_logger,
+    telemetry_session,
+)
+
+log = get_logger("bench.export_dds_timings")
 
 #: Every bisimulation variant of the reduction pipeline, benchmarked
 #: head-to-head on the same DDS model.
@@ -72,29 +88,36 @@ def run_one(
     reliability = evaluator.reliability(MISSION_TIME_HOURS)
     wall_clock = time.perf_counter() - started
 
-    statistics = evaluator.composed.statistics
+    stats = evaluator.composed.statistics.to_dict()
     result = {
         "measures": {
             "availability": availability,
             "reliability_5_weeks": reliability,
         },
+        # The telemetry-schema statistics (CompositionStatistics.to_dict()),
+        # shared with the `span` attributes of `--telemetry` streams.
+        "statistics": {key: value for key, value in stats.items() if key != "steps"},
+        # Historical aliases of the same numbers, kept so the artifact
+        # series stays comparable across PRs.
         "phases": {
-            "compose_seconds": round(statistics.total_compose_seconds, 4),
-            "reduce_seconds": round(statistics.total_reduce_seconds, 4),
-            "total_pipeline_seconds": round(statistics.total_seconds, 4),
+            "compose_seconds": round(stats["total_compose_seconds"], 4),
+            "reduce_seconds": round(stats["total_reduce_seconds"], 4),
+            "total_pipeline_seconds": round(stats["total_seconds"], 4),
             "wall_clock_seconds": round(wall_clock, 4),
         },
         "state_space": {
-            "composition_steps": len(statistics.steps),
-            "largest_intermediate_states": statistics.largest_intermediate_states,
+            "composition_steps": stats["num_steps"],
+            "largest_intermediate_states": stats["largest_intermediate_states"],
             "largest_intermediate_transitions": (
-                statistics.largest_intermediate_transitions
+                stats["largest_intermediate_transitions"]
             ),
             "final_ctmc_states": evaluator.ctmc.num_states,
             "final_ctmc_transitions": evaluator.ctmc.num_transitions,
         },
-        "steps": statistics.as_table(),
+        "steps": stats["steps"],
     }
+    if evaluator.composed.plan_report is not None:
+        result["plan"] = evaluator.composed.plan_report.to_dict()
     if evaluator.cache is not None:
         result["cache"] = evaluator.cache.summary()
     return result
@@ -169,6 +192,7 @@ def collect_timings() -> dict:
     strong = reductions["strong"]
     return {
         "benchmark": "dds_compositional_aggregation",
+        "schema_version": SCHEMA_VERSION,
         "python": platform.python_version(),
         # Historical top-level layout (the strong-mode run), kept so the
         # artifact series stays comparable across PRs.
@@ -201,38 +225,58 @@ def collect_timings() -> dict:
     }
 
 
-def main() -> None:
-    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("dds-phase-timings.json")
-    timings = collect_timings()
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Export DDS pipeline phase timings as JSON"
+    )
+    parser.add_argument(
+        "output",
+        nargs="?",
+        default="dds-phase-timings.json",
+        help="path of the JSON artifact (default: dds-phase-timings.json)",
+    )
+    add_observability_arguments(parser)
+    args = parser.parse_args(argv)
+    configure_logging(args)
+
+    output = Path(args.output)
+    with telemetry_session("export_dds_timings", args):
+        timings = collect_timings()
     output.write_text(json.dumps(timings, indent=2) + "\n")
     for name, data in timings["reductions"].items():
         phases = data["phases"]
         space = data["state_space"]
-        print(
-            f"{name:9s} compose {phases['compose_seconds']}s, "
-            f"reduce {phases['reduce_seconds']}s "
-            f"({space['composition_steps']} steps, "
-            f"final CTMC {space['final_ctmc_states']} states)"
+        log.info(
+            "%-9s compose %ss, reduce %ss (%s steps, final CTMC %s states)",
+            name,
+            phases["compose_seconds"],
+            phases["reduce_seconds"],
+            space["composition_steps"],
+            space["final_ctmc_states"],
         )
     for instance, race in timings["cache"].items():
         enabled = race["enabled"] if "enabled" in race else race
         summary = enabled.get("cache", {})
-        print(
-            f"cache {instance}: speedup {race.get('speedup')}x, "
-            f"hit rate {summary.get('hit_rate', 0):.0%}, "
-            f"saved {summary.get('saved_seconds', 0)}s, "
-            f"bit-identical: {race.get('bit_identical_measures')}"
+        log.info(
+            "cache %s: speedup %sx, hit rate %.0f%%, saved %ss, bit-identical: %s",
+            instance,
+            race.get("speedup"),
+            100.0 * summary.get("hit_rate", 0),
+            summary.get("saved_seconds", 0),
+            race.get("bit_identical_measures"),
         )
     for key, row in timings["parallel"].items():
         if not key.startswith("jobs_"):
             continue
-        print(
-            f"parallel {key}: compose+reduce {row['compose_reduce_seconds']}s, "
-            f"speedup {row['speedup']}x, "
-            f"bit-identical: {row['bit_identical_measures']}"
+        log.info(
+            "parallel %s: compose+reduce %ss, speedup %sx, bit-identical: %s",
+            key,
+            row["compose_reduce_seconds"],
+            row["speedup"],
+            row["bit_identical_measures"],
         )
     parameters_path = fit_cost_parameters(output.parent)
-    print(f"wrote {output} and {parameters_path}")
+    log.info("wrote %s and %s", output, parameters_path)
 
 
 if __name__ == "__main__":

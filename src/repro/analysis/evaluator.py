@@ -15,6 +15,7 @@ and exposes the dependability measures of the case studies:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -43,6 +44,7 @@ from ..simulation import (
     VectorisedSimulator,
     batch_means,
 )
+from ..telemetry.trace import Telemetry, current_telemetry
 
 
 @dataclass(frozen=True)
@@ -78,7 +80,11 @@ class ArcadeEvaluator:
     (:mod:`repro.composer.cache`): ``"on"`` resolves to a single
     :class:`~repro.composer.QuotientCache` instance shared between the
     repairable and the no-repair pipelines, so replicated subtrees are
-    composed once per evaluator, not once per measure.
+    composed once per evaluator, not once per measure.  ``telemetry``
+    accepts a :class:`~repro.telemetry.Telemetry` session; the pipeline
+    stages run inside its activation scope so composition, lumping and
+    simulation spans land in its sink — purely observational, the computed
+    measures are bit-identical with telemetry on, off or absent.
     """
 
     def __init__(
@@ -106,6 +112,7 @@ class ArcadeEvaluator:
         sim_splitting: int = 4,
         sim_burn_in: float | None = None,
         sim_confidence: float = 0.99,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if backend not in ("compose", "simulate", "auto"):
             raise ModelError(
@@ -147,9 +154,22 @@ class ArcadeEvaluator:
         #: Worker processes for the composer's parallel subtree aggregation
         #: (``1`` = serial; forwarded as ``Composer(jobs=...)``).
         self.jobs = jobs
+        #: Explicit telemetry session: the pipeline stages run inside its
+        #: activation scope, so composer/lumping/simulation spans land in it
+        #: even when the caller did not activate the session itself.  With
+        #: ``None`` the evaluator is observational-transparent: the ambient
+        #: session (if any) is used, and with none active all
+        #: instrumentation sites are no-ops.
+        self.telemetry = telemetry
         self._translated: TranslatedModel | None = None
         self._composed: ComposedSystem | None = None
         self._composed_no_repair: ComposedSystem | None = None
+
+    def _telemetry_scope(self):
+        """Activation scope of the explicit session (no-op when ambient)."""
+        if self.telemetry is not None and current_telemetry() is not self.telemetry:
+            return self.telemetry.activate()
+        return nullcontext()
 
     # ------------------------------------------------------------------ #
     # pipeline stages (lazily computed and cached)
@@ -189,20 +209,21 @@ class ArcadeEvaluator:
     def composed(self) -> ComposedSystem:
         """The composed system (I/O-IMC, CTMC and composition statistics)."""
         if self._composed is None:
-            self._composed = compose_model(
-                self.translated,
-                order=self.order,
-                reduction=self.reduction,
-                lump_final_ctmc=self.lump_final_ctmc,
-                cache=self.cache,
-                reduce_policy=self.reduce_policy,
-                reduce_every_n=self.reduce_every_n,
-                adaptive_reduction_states=self.adaptive_reduction_states,
-                plan_budget=self.plan_budget,
-                plan_seed=self.plan_seed,
-                plan_parameters=self.plan_parameters,
-                jobs=self.jobs,
-            )
+            with self._telemetry_scope():
+                self._composed = compose_model(
+                    self.translated,
+                    order=self.order,
+                    reduction=self.reduction,
+                    lump_final_ctmc=self.lump_final_ctmc,
+                    cache=self.cache,
+                    reduce_policy=self.reduce_policy,
+                    reduce_every_n=self.reduce_every_n,
+                    adaptive_reduction_states=self.adaptive_reduction_states,
+                    plan_budget=self.plan_budget,
+                    plan_seed=self.plan_seed,
+                    plan_parameters=self.plan_parameters,
+                    jobs=self.jobs,
+                )
         return self._composed
 
     @property
@@ -226,20 +247,21 @@ class ArcadeEvaluator:
                 # Explicit orders lose the blocks that no longer exist;
                 # "auto" passes through and re-plans on the stripped model.
                 order = _filter_order(order, set(translated.blocks))
-            self._composed_no_repair = compose_model(
-                translated,
-                order=order,
-                reduction=self.reduction,
-                lump_final_ctmc=self.lump_final_ctmc,
-                cache=self.cache,
-                reduce_policy=self.reduce_policy,
-                reduce_every_n=self.reduce_every_n,
-                adaptive_reduction_states=self.adaptive_reduction_states,
-                plan_budget=self.plan_budget,
-                plan_seed=self.plan_seed,
-                plan_parameters=self.plan_parameters,
-                jobs=self.jobs,
-            )
+            with self._telemetry_scope():
+                self._composed_no_repair = compose_model(
+                    translated,
+                    order=order,
+                    reduction=self.reduction,
+                    lump_final_ctmc=self.lump_final_ctmc,
+                    cache=self.cache,
+                    reduce_policy=self.reduce_policy,
+                    reduce_every_n=self.reduce_every_n,
+                    adaptive_reduction_states=self.adaptive_reduction_states,
+                    plan_budget=self.plan_budget,
+                    plan_seed=self.plan_seed,
+                    plan_parameters=self.plan_parameters,
+                    jobs=self.jobs,
+                )
         return self._composed_no_repair
 
     # ------------------------------------------------------------------ #
@@ -256,25 +278,26 @@ class ArcadeEvaluator:
         degenerates to plain vectorised Monte Carlo.
         """
         if self._simulated_unavailability is None:
-            simulator = RestartSimulator(
-                self.model, seed=self.sim_seed, splitting=self.sim_splitting
-            )
-            if self.sim_rel_error is not None:
-                report = simulator.estimate_until(
-                    self.sim_horizon,
-                    rel_error=self.sim_rel_error,
-                    burn_in=self.sim_burn_in,
-                    confidence=self.sim_confidence,
-                    batch_size=max(self.sim_replications, 2),
+            with self._telemetry_scope():
+                simulator = RestartSimulator(
+                    self.model, seed=self.sim_seed, splitting=self.sim_splitting
                 )
-                interval = report.interval
-            else:
-                interval = simulator.run(
-                    self.sim_horizon,
-                    max(self.sim_replications, 2),
-                    burn_in=self.sim_burn_in,
-                    confidence=self.sim_confidence,
-                ).interval
+                if self.sim_rel_error is not None:
+                    report = simulator.estimate_until(
+                        self.sim_horizon,
+                        rel_error=self.sim_rel_error,
+                        burn_in=self.sim_burn_in,
+                        confidence=self.sim_confidence,
+                        batch_size=max(self.sim_replications, 2),
+                    )
+                    interval = report.interval
+                else:
+                    interval = simulator.run(
+                        self.sim_horizon,
+                        max(self.sim_replications, 2),
+                        burn_in=self.sim_burn_in,
+                        confidence=self.sim_confidence,
+                    ).interval
             self.simulation_interval = interval
             self._simulated_unavailability = interval.mean
         return self._simulated_unavailability
@@ -306,9 +329,10 @@ class ArcadeEvaluator:
     def unreliability(self, mission_time: float, *, assume_no_repair: bool = True) -> float:
         """Probability of at least one system failure within ``mission_time``."""
         if self.resolved_backend == "simulate":
-            target = self.model.without_repair() if assume_no_repair else self.model
-            simulator = VectorisedSimulator(target, seed=self.sim_seed)
-            batch = simulator.run_batch(mission_time, max(self.sim_replications, 2))
+            with self._telemetry_scope():
+                target = self.model.without_repair() if assume_no_repair else self.model
+                simulator = VectorisedSimulator(target, seed=self.sim_seed)
+                batch = simulator.run_batch(mission_time, max(self.sim_replications, 2))
             failed = (~np.isnan(batch.first_failure_time)).astype(float)
             self.simulation_interval = batch_means(
                 failed, confidence=self.sim_confidence

@@ -201,6 +201,7 @@ def build_dds_evaluator(
     order: str = "hierarchical",
     cache="off",
     jobs: int = 1,
+    telemetry=None,
 ) -> ArcadeEvaluator:
     """Evaluator for the full compositional-aggregation pipeline on the DDS.
 
@@ -213,10 +214,14 @@ def build_dds_evaluator(
     isomorphic up to signal renaming, so with the cache each replicated
     subtree is composed and minimised once.  ``jobs`` > 1 aggregates the
     independent subsystem subtrees in parallel worker processes.
+    ``telemetry`` threads an explicit
+    :class:`~repro.telemetry.Telemetry` session through the evaluator.
     """
     validate_order_choice(order)
     model = build_dds_model(parameters)
-    evaluator = ArcadeEvaluator(model, reduction=reduction, cache=cache, jobs=jobs)
+    evaluator = ArcadeEvaluator(
+        model, reduction=reduction, cache=cache, jobs=jobs, telemetry=telemetry
+    )
     if order == "hierarchical":
         evaluator.order = dds_composition_order(evaluator.translated, parameters)
     elif order == "auto":
@@ -381,7 +386,6 @@ def main(argv: list[str] | None = None) -> None:
     three bisimulation variants on the same model.
     """
     import argparse
-    import time
 
     parser = argparse.ArgumentParser(
         description="Distributed Database System case study (Section 5.1)"
@@ -456,10 +460,26 @@ def main(argv: list[str] | None = None) -> None:
         default=0,
         help="seed of the simulation RNG stream",
     )
+    from ..telemetry import (
+        add_observability_arguments,
+        configure_logging,
+        get_logger,
+        telemetry_session,
+    )
     from .sweep_cli import add_sweep_arguments, run_sweep_cli
 
+    add_observability_arguments(parser)
     add_sweep_arguments(parser)
     args = parser.parse_args(argv)
+    configure_logging(args)
+    log = get_logger("dds")
+
+    with telemetry_session("dds", args, seeds={"sim_seed": args.sim_seed}):
+        _run(args, log, run_sweep_cli)
+
+
+def _run(args, log, run_sweep_cli) -> None:
+    import time
 
     if args.sweep:
         import dataclasses
@@ -507,12 +527,12 @@ def main(argv: list[str] | None = None) -> None:
         interval = evaluator.simulation_interval
         reliability = evaluator.reliability(MISSION_TIME_HOURS)
         elapsed = time.perf_counter() - started
-        print(f"DDS ({args.clusters} clusters), backend=simulate (RESTART)")
-        print(f"  availability          {availability:.9f}")
+        log.info("DDS (%s clusters), backend=simulate (RESTART)", args.clusters)
+        log.info("  availability          %.9f", availability)
         if interval is not None:
-            print(f"  unavailability CI     {interval.describe()}")
-        print(f"  reliability (5 weeks) {reliability:.9f}")
-        print(f"  wall-clock {elapsed:.1f}s")
+            log.info("  unavailability CI     %s", interval.describe())
+        log.info("  reliability (5 weeks) %.9f", reliability)
+        log.info("  wall-clock %.1fs", elapsed)
         return
     started = time.perf_counter()
     evaluator = build_dds_evaluator(
@@ -527,33 +547,41 @@ def main(argv: list[str] | None = None) -> None:
     elapsed = time.perf_counter() - started
     statistics = evaluator.composed.statistics
     jobs_note = f", jobs={args.jobs}" if args.jobs > 1 else ""
-    print(
-        f"DDS ({args.clusters} clusters), reduction={args.reduction}, "
-        f"order={args.order}{jobs_note}"
+    log.info(
+        "DDS (%s clusters), reduction=%s, order=%s%s",
+        args.clusters,
+        args.reduction,
+        args.order,
+        jobs_note,
     )
     if evaluator.composed.plan_report is not None:
-        print(f"  {evaluator.composed.plan_report.summary()}")
+        log.info("  %s", evaluator.composed.plan_report.summary())
     if evaluator.cache is not None:
         summary = evaluator.cache.summary()
-        print(
-            f"  cache: {summary['hits']} hits / {summary['misses']} misses "
-            f"(hit rate {summary['hit_rate']:.0%}), "
-            f"saved {summary['saved_seconds']:.2f}s"
+        log.info(
+            "  cache: %s hits / %s misses (hit rate %.0f%%), saved %.2fs",
+            summary["hits"],
+            summary["misses"],
+            100.0 * summary["hit_rate"],
+            summary["saved_seconds"],
         )
-    print(
-        f"  final CTMC: {evaluator.ctmc.num_states} states / "
-        f"{evaluator.ctmc.num_transitions} transitions"
+    log.info(
+        "  final CTMC: %s states / %s transitions",
+        evaluator.ctmc.num_states,
+        evaluator.ctmc.num_transitions,
     )
-    print(
-        f"  largest intermediate: {statistics.largest_intermediate_states} states "
-        f"over {len(statistics.steps)} composition steps"
+    log.info(
+        "  largest intermediate: %s states over %s composition steps",
+        statistics.largest_intermediate_states,
+        len(statistics.steps),
     )
-    print(f"  availability          {availability:.9f}")
-    print(f"  reliability (5 weeks) {reliability:.9f}")
-    print(
-        f"  wall-clock {elapsed:.1f}s "
-        f"(compose {statistics.total_compose_seconds:.1f}s, "
-        f"reduce {statistics.total_reduce_seconds:.1f}s)"
+    log.info("  availability          %.9f", availability)
+    log.info("  reliability (5 weeks) %.9f", reliability)
+    log.info(
+        "  wall-clock %.1fs (compose %.1fs, reduce %.1fs)",
+        elapsed,
+        statistics.total_compose_seconds,
+        statistics.total_reduce_seconds,
     )
 
 

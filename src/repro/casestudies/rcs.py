@@ -414,9 +414,6 @@ def main(argv: list[str] | None = None) -> None:
     Section 5.2.2 numbers with the paper's actual CADP equivalence.
     """
     import argparse
-    import time
-
-    from ..ctmc import point_availability
 
     parser = argparse.ArgumentParser(
         description="Reactor Cooling System case study (Section 5.2)"
@@ -479,10 +476,28 @@ def main(argv: list[str] | None = None) -> None:
         default=0,
         help="seed of the simulation RNG stream",
     )
+    from ..telemetry import (
+        add_observability_arguments,
+        configure_logging,
+        get_logger,
+        telemetry_session,
+    )
     from .sweep_cli import add_sweep_arguments, run_sweep_cli
 
+    add_observability_arguments(parser)
     add_sweep_arguments(parser)
     args = parser.parse_args(argv)
+    configure_logging(args)
+    log = get_logger("rcs")
+
+    with telemetry_session("rcs", args, seeds={"sim_seed": args.sim_seed}):
+        _run(args, log, run_sweep_cli)
+
+
+def _run(args, log, run_sweep_cli) -> None:
+    import time
+
+    from ..ctmc import point_availability
 
     if args.sweep:
         run_sweep_cli(
@@ -513,12 +528,12 @@ def main(argv: list[str] | None = None) -> None:
         interval = evaluator.simulation_interval
         unreliability_50h = evaluator.unreliability(MISSION_TIME_HOURS)
         elapsed = time.perf_counter() - started
-        print("RCS (flat model), backend=simulate (RESTART)")
-        print(f"  long-run unavailability {unavailability:.3e}")
+        log.info("RCS (flat model), backend=simulate (RESTART)")
+        log.info("  long-run unavailability %.3e", unavailability)
         if interval is not None:
-            print(f"  unavailability CI       {interval.describe()}")
-        print(f"  unreliability (50 h)    {unreliability_50h:.3e}")
-        print(f"  wall-clock {elapsed:.1f}s")
+            log.info("  unavailability CI       %s", interval.describe())
+        log.info("  unreliability (50 h)    %.3e", unreliability_50h)
+        log.info("  wall-clock %.1fs", elapsed)
         return
 
     started = time.perf_counter()
@@ -534,33 +549,37 @@ def main(argv: list[str] | None = None) -> None:
     unreliability_50h = modular.unreliability(MISSION_TIME_HOURS)
     elapsed = time.perf_counter() - started
     jobs_note = f", jobs={args.jobs}" if args.jobs > 1 else ""
-    print(
-        f"RCS (modular), reduction={args.reduction}, order={args.order}{jobs_note}"
+    log.info(
+        "RCS (modular), reduction=%s, order=%s%s", args.reduction, args.order, jobs_note
     )
     for name in ("pumps", "heat_exchange"):
         report = modular.evaluators[name].composed.plan_report
         if report is not None:
-            print(f"  {name}: {report.summary()}")
+            log.info("  %s: %s", name, report.summary())
     if modular.cache is not None:
         summary = modular.cache.summary()
-        print(
-            f"  cache: {summary['hits']} hits / {summary['misses']} misses "
-            f"(hit rate {summary['hit_rate']:.0%}), "
-            f"saved {summary['saved_seconds']:.2f}s"
+        log.info(
+            "  cache: %s hits / %s misses (hit rate %.0f%%), saved %.2fs",
+            summary["hits"],
+            summary["misses"],
+            100.0 * summary["hit_rate"],
+            summary["saved_seconds"],
         )
-    print(
-        f"  pump subsystem CTMC: {pumps.ctmc.num_states} states / "
-        f"{pumps.ctmc.num_transitions} transitions, "
-        f"unavailability {pumps.unavailability():.6e}"
+    log.info(
+        "  pump subsystem CTMC: %s states / %s transitions, unavailability %.6e",
+        pumps.ctmc.num_states,
+        pumps.ctmc.num_transitions,
+        pumps.unavailability(),
     )
-    print(
-        f"  heat-exchange CTMC:  {heat.ctmc.num_states} states / "
-        f"{heat.ctmc.num_transitions} transitions, "
-        f"unavailability {heat.unavailability():.6e}"
+    log.info(
+        "  heat-exchange CTMC:  %s states / %s transitions, unavailability %.6e",
+        heat.ctmc.num_states,
+        heat.ctmc.num_transitions,
+        heat.unavailability(),
     )
-    print(f"  unavailability (50 h) {unavailability_50h:.6e}")
-    print(f"  unreliability  (50 h) {unreliability_50h:.6e}")
-    print(f"  wall-clock {elapsed:.1f}s")
+    log.info("  unavailability (50 h) %.6e", unavailability_50h)
+    log.info("  unreliability  (50 h) %.6e", unreliability_50h)
+    log.info("  wall-clock %.1fs", elapsed)
 
 
 if __name__ == "__main__":

@@ -20,6 +20,9 @@ import argparse
 
 from ..errors import SweepError
 from ..sweep import Prior, SweepConfig, SweepResult, run_sweep
+from ..telemetry import get_logger
+
+log = get_logger("sweep")
 
 
 def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
@@ -144,42 +147,54 @@ def run_sweep_cli(factory, args: argparse.Namespace, *, default_grid=None) -> Sw
         sim_horizon=getattr(args, "sim_horizon", 10_000.0),
     )
     result = run_sweep(factory, config)
-    _print_summary(factory.name, result)
+    _log_summary(factory.name, result)
     if args.sweep_out:
         npz_path, manifest_path = result.save(args.sweep_out)
-        print(f"  store: {npz_path} + {manifest_path}")
+        log.info("  store: %s + %s", npz_path, manifest_path)
     return result
 
 
-def _print_summary(name: str, result: SweepResult) -> None:
+def _log_summary(name: str, result: SweepResult) -> None:
     totals = result.manifest["totals"]
-    print(
-        f"{name} sweep: {totals['points']} points, "
-        f"{totals['evaluations']} evaluations, {totals['seconds']:.1f}s"
+    log.info(
+        "%s sweep: %s points, %s evaluations, %.1fs",
+        name,
+        totals["points"],
+        totals["evaluations"],
+        totals["seconds"],
     )
     cache = result.manifest.get("cache")
     if cache:
-        print(
-            f"  cache: {cache['hits']} hits / {cache['misses']} misses "
-            f"(hit rate {cache['hit_rate']:.0%}), saved {cache['saved_seconds']:.2f}s"
+        log.info(
+            "  cache: %s hits / %s misses (hit rate %.0f%%), saved %.2fs",
+            cache["hits"],
+            cache["misses"],
+            100.0 * cache["hit_rate"],
+            cache["saved_seconds"],
         )
     for row in result.sensitivities:
-        print(
-            f"  dU/d {row['axis']}: {row['derivative']:+.3e} "
-            f"(elasticity {row['elasticity']:+.3f})"
+        log.info(
+            "  dU/d %s: %+.3e (elasticity %+.3f)",
+            row["axis"],
+            row["derivative"],
+            row["elasticity"],
         )
     for row in result.importance:
-        print(
-            f"  importance {row['component']}: Birnbaum {row['birnbaum']:.3e}, "
-            f"improvement potential {row['improvement_potential']:.3e}"
+        log.info(
+            "  importance %s: Birnbaum %.3e, improvement potential %.3e",
+            row["component"],
+            row["birnbaum"],
+            row["improvement_potential"],
         )
     distributions = result.manifest.get("distributions", {}).get("lhs")
     if distributions:
         summary = distributions["unavailability"]
         quantiles = summary["quantiles"]
-        print(
-            f"  LHS unavailability: mean {summary['mean']:.3e}, "
-            f"90% interval [{quantiles['0.05']:.3e}, {quantiles['0.95']:.3e}]"
+        log.info(
+            "  LHS unavailability: mean %.3e, 90%% interval [%.3e, %.3e]",
+            summary["mean"],
+            quantiles["0.05"],
+            quantiles["0.95"],
         )
 
 

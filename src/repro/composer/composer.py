@@ -44,6 +44,9 @@ from ..lumping import (
     minimize_weak,
 )
 from ..arcade.semantics import TranslatedModel
+from ..telemetry.sink import MemorySink
+from ..telemetry.trace import Telemetry, current_telemetry, gauge_max, incr
+from ..telemetry.trace import span as telemetry_span
 from .cache import QuotientCache, SubtreeFingerprint, resolve_cache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (planner uses composer)
@@ -177,6 +180,24 @@ class CompositionStatistics:
             }
             for step in self.steps
         ]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable summary — the schema the telemetry stream and
+        the benchmark exporters share (per-step rows under ``"steps"``)."""
+        return {
+            "jobs": self.jobs,
+            "num_steps": len(self.steps),
+            "largest_intermediate_states": self.largest_intermediate_states,
+            "largest_intermediate_transitions": self.largest_intermediate_transitions,
+            "total_compose_seconds": self.total_compose_seconds,
+            "total_reduce_seconds": self.total_reduce_seconds,
+            "final_reduce_seconds": self.final_reduce_seconds,
+            "total_seconds": self.total_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_saved_seconds": self.cache_saved_seconds,
+            "reductions_skipped": self.reductions_skipped,
+            "steps": self.as_table(),
+        }
 
 
 @dataclass
@@ -350,41 +371,60 @@ class Composer:
     # ------------------------------------------------------------------ #
     def compose(self) -> ComposedSystem:
         """Run the full pipeline: compose, hide, reduce, extract the CTMC."""
-        # Fresh report per run: only an "auto" resolution below re-sets it, so
-        # a re-run with a different order must not carry the old plan along.
-        self.plan_report = None
-        order = self._resolve_order()
-        self._composed_blocks = set()
-        self._steps_since_reduction = 0
-        self._reduction_history = []
-        # Fresh statistics per run: compose() is re-runnable and must not
-        # accumulate steps/timings across invocations.  (The quotient cache,
-        # in contrast, deliberately survives re-runs.)
-        self.statistics = CompositionStatistics()
-        if self.jobs > 1 and self.reduce_policy == "always":
-            system, _, _ = self._compose_parallel(order)
-        else:
-            system, _, _ = self._compose_group(order)
-        missing = set(self.translated.blocks) - self._composed_blocks
-        if missing:
-            raise CompositionError(
-                f"composition order does not cover block(s) {sorted(missing)}"
+        with telemetry_span(
+            "compose.run",
+            reduction=self.reduction,
+            reduce_policy=self.reduce_policy,
+            jobs=self.jobs,
+            cache="on" if self.cache is not None else "off",
+            blocks=len(self.translated.blocks),
+        ) as run_span:
+            # Fresh report per run: only an "auto" resolution below re-sets it,
+            # so a re-run with a different order must not carry the old plan
+            # along.
+            self.plan_report = None
+            order = self._resolve_order()
+            self._composed_blocks = set()
+            self._steps_since_reduction = 0
+            self._reduction_history = []
+            # Fresh statistics per run: compose() is re-runnable and must not
+            # accumulate steps/timings across invocations.  (The quotient
+            # cache, in contrast, deliberately survives re-runs.)
+            self.statistics = CompositionStatistics()
+            if self.jobs > 1 and self.reduce_policy == "always":
+                system, _, _ = self._compose_parallel(order)
+            else:
+                system, _, _ = self._compose_group(order)
+            missing = set(self.translated.blocks) - self._composed_blocks
+            if missing:
+                raise CompositionError(
+                    f"composition order does not cover block(s) {sorted(missing)}"
+                )
+            # Close the system: everything still visible can be hidden now.
+            system = hide(system, system.signature.outputs)
+            started = time.perf_counter()
+            with telemetry_span("compose.final_reduce", reduction=self.reduction):
+                system = self._reduce(system)
+            self.statistics.final_reduce_seconds += time.perf_counter() - started
+            ctmc = extract_ctmc(system)
+            if self.lump_final_ctmc:
+                ctmc = lump(ctmc).quotient
+            run_span.set(
+                steps=len(self.statistics.steps),
+                peak_states=self.statistics.largest_intermediate_states,
+                cache_hits=self.statistics.cache_hits,
+                ctmc_states=ctmc.num_states,
             )
-        # Close the system: everything that is still visible can be hidden now.
-        system = hide(system, system.signature.outputs)
-        started = time.perf_counter()
-        system = self._reduce(system)
-        self.statistics.final_reduce_seconds += time.perf_counter() - started
-        ctmc = extract_ctmc(system)
-        if self.lump_final_ctmc:
-            ctmc = lump(ctmc).quotient
-        return ComposedSystem(
-            ioimc=system,
-            ctmc=ctmc,
-            statistics=self.statistics,
-            plan_report=self.plan_report,
-            cache=self.cache,
-        )
+            gauge_max(
+                "compose.peak_states", self.statistics.largest_intermediate_states
+            )
+            return ComposedSystem(
+                ioimc=system,
+                ctmc=ctmc,
+                statistics=self.statistics,
+                plan_report=self.plan_report,
+                cache=self.cache,
+            )
 
     def _resolve_order(self) -> CompositionOrder:
         """The order to compose in: explicit, planned (``"auto"``) or greedy."""
@@ -538,26 +578,44 @@ class Composer:
 
         workers = min(self.jobs, len(dispatch))
         self.statistics.jobs = workers
+        telemetry = current_telemetry()
         results: dict[int, _SubtreeResult] = {}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                (
-                    index,
-                    pool.submit(
-                        _compose_subtree_worker,
-                        (
-                            self._subtree_translated(item),
-                            item,
-                            self.reduction,
-                            self.eliminate_vanishing,
-                            self.cache is not None,
+        with telemetry_span(
+            "compose.parallel", workers=workers, subtrees=len(dispatch)
+        ) as parallel_span:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    (
+                        index,
+                        pool.submit(
+                            _compose_subtree_worker,
+                            (
+                                self._subtree_translated(item),
+                                item,
+                                self.reduction,
+                                self.eliminate_vanishing,
+                                self.cache is not None,
+                                telemetry is not None,
+                            ),
                         ),
-                    ),
-                )
-                for index, item in dispatch
-            ]
-            for index, future in futures:
-                results[index] = future.result()
+                    )
+                    for index, item in dispatch
+                ]
+                for index, future in futures:
+                    results[index] = future.result()
+
+            # Merge the worker-side observability alongside the statistics and
+            # cache merges below: worker span events splice into this trace
+            # (re-parented onto the compose.parallel span), worker metrics
+            # snapshots fold into the ambient registry — in item order, so the
+            # merged stream is deterministic across worker counts.
+            if telemetry is not None:
+                for index in sorted(results):
+                    result = results[index]
+                    telemetry.ingest(
+                        result.events, parent_id=parallel_span.span_id
+                    )
+                    telemetry.metrics.merge_snapshot(result.metrics_snapshot)
 
         # Merge the worker caches in item order — not completion order — so
         # the parent cache's contents and counters are deterministic across
@@ -565,9 +623,11 @@ class Composer:
         if self.cache is not None:
             for index in sorted(results):
                 result = results[index]
-                if result.cache is not None and not self.cache.merge_from(
-                    result.cache
-                ):
+                if result.cache is None:
+                    continue
+                if self.cache.merge_from(result.cache):
+                    incr("cache.merges")
+                else:
                     # A cross-process digest collision failed verification:
                     # the worker's entries were not imported, and no
                     # descendant key may be derived from its identity.
@@ -668,6 +728,29 @@ class Composer:
     ) -> tuple[IOIMC, SubtreeFingerprint | None]:
         """One binary step: compose, hide, reduce — or serve it from the cache."""
         description = f"{left.name} || {right.name}"
+        with telemetry_span("compose.step", step=description) as step_span:
+            return self._step_inner(
+                left,
+                left_fingerprint,
+                right,
+                right_fingerprint,
+                blocks,
+                operand_blocks,
+                description,
+                step_span,
+            )
+
+    def _step_inner(
+        self,
+        left: IOIMC,
+        left_fingerprint: SubtreeFingerprint | None,
+        right: IOIMC,
+        right_fingerprint: SubtreeFingerprint | None,
+        blocks: frozenset[str],
+        operand_blocks: tuple[int, int],
+        description: str,
+        step_span,
+    ) -> tuple[IOIMC, SubtreeFingerprint | None]:
         hidable = self._hidable_signals(left.signature, right.signature, blocks)
         cache = self.cache
         plan = None
@@ -725,6 +808,8 @@ class Composer:
             saved_seconds = max(entry.cost_seconds - serve_seconds, 0.0)
             cache.hits += 1
             cache.saved_seconds += saved_seconds
+            incr("cache.hits")
+            incr("cache.saved_seconds", saved_seconds)
             step = CompositionStep(
                 description=description,
                 states_before_reduction=entry.states_before,
@@ -739,6 +824,12 @@ class Composer:
                 saved_seconds=saved_seconds,
                 operand_blocks=operand_blocks,
                 skip_reason=skip_reason,
+            )
+            step_span.set(
+                states_before=entry.states_before,
+                states_after=entry.states_after,
+                cache_hit=True,
+                reduced=should_reduce,
             )
             self._note_reduction(should_reduce, entry.states_before, entry.states_after)
             self.statistics.record(step)
@@ -755,6 +846,7 @@ class Composer:
         next_fingerprint = None
         if plan is not None and key is not None:
             cache.misses += 1
+            incr("cache.misses")
             if cache.store(
                 key,
                 plan,
@@ -764,6 +856,7 @@ class Composer:
                 compose_seconds=compose_seconds,
                 reduce_seconds=reduce_seconds,
             ):
+                incr("cache.stores")
                 next_fingerprint = SubtreeFingerprint(key, plan.slots)
         step = CompositionStep(
             description=description,
@@ -778,6 +871,13 @@ class Composer:
             operand_blocks=operand_blocks,
             skip_reason=skip_reason,
         )
+        step_span.set(
+            states_before=before["states"],
+            states_after=after["states"],
+            cache_hit=False,
+            reduced=should_reduce,
+        )
+        gauge_max("compose.peak_states", before["states"])
         self._note_reduction(should_reduce, before["states"], after["states"])
         self.statistics.record(step)
         return composite, next_fingerprint
@@ -899,6 +999,12 @@ class _SubtreeResult:
     fingerprint: SubtreeFingerprint | None
     steps: tuple
     cache: QuotientCache | None
+    #: Telemetry span events the worker's session buffered (empty when the
+    #: parent ran without telemetry); spliced into the parent trace via
+    #: :meth:`repro.telemetry.trace.Telemetry.ingest`.
+    events: tuple = ()
+    #: The worker registry's snapshot, folded into the parent's metrics.
+    metrics_snapshot: dict | None = None
 
 
 def _compose_subtree_worker(payload) -> _SubtreeResult:
@@ -909,9 +1015,12 @@ def _compose_subtree_worker(payload) -> _SubtreeResult:
     The worker runs the ordinary serial fold — against a fresh cache when
     the parent run caches, so within-subtree replicas still hit — and
     returns the composite, its per-step statistics and the cache for the
-    parent to merge.
+    parent to merge.  When the parent run is traced, the worker runs its own
+    memory-sink telemetry session and ships the buffered span events and
+    metrics snapshot back alongside (contextvars do not cross the process
+    boundary, so the ambient session must be rebuilt here).
     """
-    translated, item, reduction, eliminate_vanishing, use_cache = payload
+    translated, item, reduction, eliminate_vanishing, use_cache, traced = payload
     composer = Composer(
         translated,
         order=item,
@@ -919,7 +1028,17 @@ def _compose_subtree_worker(payload) -> _SubtreeResult:
         eliminate_vanishing=eliminate_vanishing,
         cache="on" if use_cache else None,
     )
-    ioimc, blocks, fingerprint = composer._compose_group(item)
+    events: tuple = ()
+    metrics_snapshot: dict | None = None
+    if traced:
+        telemetry = Telemetry(MemorySink())
+        with telemetry.activate():
+            with telemetry.span("compose.subtree", subtree_blocks=len(_flatten_names(item))):
+                ioimc, blocks, fingerprint = composer._compose_group(item)
+        events = tuple(telemetry.export_events())
+        metrics_snapshot = telemetry.metrics.snapshot() or None
+    else:
+        ioimc, blocks, fingerprint = composer._compose_group(item)
     cache = composer.cache
     if cache is not None:
         # The leaf-fingerprint memo is keyed by object identity, which is
@@ -931,6 +1050,8 @@ def _compose_subtree_worker(payload) -> _SubtreeResult:
         fingerprint=fingerprint,
         steps=tuple(composer.statistics.steps),
         cache=cache,
+        events=events,
+        metrics_snapshot=metrics_snapshot,
     )
 
 

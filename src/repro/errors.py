@@ -72,6 +72,15 @@ class AnalysisError(ArcadeError):
     """A numerical analysis step (steady state, transient, ...) failed."""
 
 
+class TelemetryError(ArcadeError):
+    """A telemetry stream could not be read (missing file, bad schema).
+
+    Raised by the report loader of :mod:`repro.telemetry.report` — telemetry
+    *writing* never raises into the pipeline; observability must not be able
+    to fail an analysis.
+    """
+
+
 class SyntaxParseError(ArcadeError):
     """The textual Arcade syntax could not be parsed."""
 

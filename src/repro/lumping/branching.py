@@ -64,6 +64,7 @@ import numpy as np
 
 from ..ioimc import IOIMC
 from ..nputil import csr_indptr, gather_row_indices
+from ..telemetry.trace import span as telemetry_span
 from .closure import flatten_rows, markovian_profile_ids, quotient_modulo_inert_tau
 from .partition import Partition
 from .refinement import refine_partition_vectorized
@@ -285,11 +286,15 @@ def minimize_branching(
     stable member.  Unlike the weak engine no attribution validation is
     needed — rates land on direct targets, which is never ambiguous.
     """
-    partition = branching_bisimulation_partition(
-        automaton, respect_labels=respect_labels
-    )
-    quotient = quotient_modulo_inert_tau(automaton, partition)
-    return LumpingResult(quotient=quotient, block_of_state=tuple(partition.block_of))
+    with telemetry_span(
+        "reduce.branching", states=automaton.num_states
+    ) as reduce_span:
+        partition = branching_bisimulation_partition(
+            automaton, respect_labels=respect_labels
+        )
+        quotient = quotient_modulo_inert_tau(automaton, partition)
+        reduce_span.set(blocks=partition.num_blocks)
+        return LumpingResult(quotient=quotient, block_of_state=tuple(partition.block_of))
 
 
 __all__ = [

@@ -47,6 +47,8 @@ from typing import Callable, Hashable, Sequence
 import numpy as np
 
 from ..nputil import first_occurrence_renumber, gather_row_indices
+from ..telemetry.trace import observe
+from ..telemetry.trace import span as telemetry_span
 from .partition import Partition
 
 #: A signature function: ``signature(state, block_of) -> hashable key``.
@@ -217,6 +219,10 @@ def refine_partition_vectorized(
 ) -> Partition:
     """Vectorised worklist refinement over encoded signature elements.
 
+    Traced as a ``lumping.refine`` telemetry span (state count, refinement
+    rounds, resulting blocks) when a telemetry session is active; the rounds
+    also feed the ``lumping.refine_rounds`` histogram.
+
     Same contract (and same result, including block numbering) as
     :func:`refine_with_worklist`, with the signature function replaced by a
     batch provider and the observer lists by a CSR table:
@@ -238,12 +244,29 @@ def refine_partition_vectorized(
         (:meth:`repro.ioimc.indexed.TransitionIndex.predecessor_csr` for
         strong bisimulation).
     """
+    with telemetry_span("lumping.refine", states=num_states) as refine_span:
+        partition, rounds = _refine_vectorized(
+            num_states, initial_keys, signature_edges, observers
+        )
+        refine_span.set(rounds=rounds, blocks=partition.num_blocks)
+        observe("lumping.refine_rounds", rounds)
+        return partition
+
+
+def _refine_vectorized(
+    num_states: int,
+    initial_keys: Sequence[Hashable],
+    signature_edges: VectorSignatureFn,
+    observers: tuple[np.ndarray, np.ndarray],
+) -> tuple[Partition, int]:
+    """The refinement loop itself; returns the partition and its round count."""
     block = np.array(Partition.from_keys(initial_keys).block_of, dtype=np.int64)
     if num_states == 0:
-        return Partition([])
+        return Partition([]), 0
     num_blocks = int(block.max()) + 1
     observer_indptr, observer_sources = observers
 
+    rounds = 0
     dirty = np.arange(num_states, dtype=np.int64)
     while len(dirty):
         # Re-examine only non-singleton blocks containing a dirty state.
@@ -255,6 +278,7 @@ def refine_partition_vectorized(
         examined = np.zeros(num_blocks, dtype=bool)
         examined[candidates] = True
         states = np.flatnonzero(examined[block])  # ascending state order
+        rounds += 1
 
         source, code = signature_edges(block, num_blocks, states)
         local = np.searchsorted(states, source)
@@ -286,7 +310,7 @@ def refine_partition_vectorized(
         touched = observer_sources[gather_row_indices(observer_indptr, changed)]
         dirty = np.unique(touched).astype(np.int64)
 
-    return Partition(first_occurrence_renumber(block).tolist())
+    return Partition(first_occurrence_renumber(block).tolist()), rounds
 
 
 __all__ = [

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..ioimc import IOIMC
 from ..nputil import gather_row_indices, round_rates_to_ids
+from ..telemetry.trace import span as telemetry_span
 from .partition import Partition
 from .refinement import refine_partition_vectorized
 
@@ -119,9 +120,13 @@ def quotient_by_partition(automaton: IOIMC, partition: Partition) -> IOIMC:
 
 def minimize_strong(automaton: IOIMC, *, respect_labels: bool = True) -> LumpingResult:
     """Minimise ``automaton`` modulo strong bisimulation."""
-    partition = strong_bisimulation_partition(automaton, respect_labels=respect_labels)
-    quotient = quotient_by_partition(automaton, partition)
-    return LumpingResult(quotient=quotient, block_of_state=tuple(partition.block_of))
+    with telemetry_span("reduce.strong", states=automaton.num_states) as reduce_span:
+        partition = strong_bisimulation_partition(
+            automaton, respect_labels=respect_labels
+        )
+        quotient = quotient_by_partition(automaton, partition)
+        reduce_span.set(blocks=partition.num_blocks)
+        return LumpingResult(quotient=quotient, block_of_state=tuple(partition.block_of))
 
 
 __all__ = [

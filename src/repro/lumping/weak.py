@@ -68,6 +68,7 @@ import numpy as np
 from ..errors import LumpingError
 from ..ioimc import IOIMC
 from ..nputil import csr_indptr, gather_row_indices
+from ..telemetry.trace import span as telemetry_span
 from .closure import flatten_rows, markovian_profile_ids, quotient_modulo_inert_tau
 from .partition import Partition
 from .refinement import refine_partition_vectorized
@@ -256,9 +257,13 @@ def minimize_weak(automaton: IOIMC, *, respect_labels: bool = True) -> LumpingRe
     containing a stable state represents the tangible behaviour reached after
     exhausting the class's internal moves).
     """
-    partition = weak_bisimulation_partition(automaton, respect_labels=respect_labels)
-    quotient = quotient_modulo_inert_tau(automaton, partition)
-    return LumpingResult(quotient=quotient, block_of_state=tuple(partition.block_of))
+    with telemetry_span("reduce.weak", states=automaton.num_states) as reduce_span:
+        partition = weak_bisimulation_partition(
+            automaton, respect_labels=respect_labels
+        )
+        quotient = quotient_modulo_inert_tau(automaton, partition)
+        reduce_span.set(blocks=partition.num_blocks)
+        return LumpingResult(quotient=quotient, block_of_state=tuple(partition.block_of))
 
 
 __all__ = ["minimize_weak", "weak_bisimulation_partition"]

@@ -30,6 +30,7 @@ from ..arcade.semantics import TranslatedModel
 from ..composer import CompositionOrder, hierarchical_order
 from ..composer.cache import QuotientCache
 from ..composer.ordering import GateScheduler
+from ..telemetry.trace import span as telemetry_span
 from .costmodel import CostModel, CostParameters, resolve_cost_parameters
 from .search import (
     SearchResult,
@@ -83,6 +84,22 @@ class PlanReport:
             f"(beam width {self.beam_width}, {self.annealing_iterations} annealing "
             f"iterations) in {self.wall_clock_seconds:.2f}s"
         )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form — the telemetry/benchmark export schema."""
+        return {
+            "predicted_peak_states": self.predicted_peak_states,
+            "predicted_total_states": self.predicted_total_states,
+            "predicted_steps": self.predicted_steps,
+            "explored_candidates": self.explored_candidates,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "num_groups": self.num_groups,
+            "beam_width": self.beam_width,
+            "annealing_iterations": self.annealing_iterations,
+            "improved_by_annealing": self.improved_by_annealing,
+            "budget": self.budget,
+            "seed": self.seed,
+        }
 
 
 def plan_order(
@@ -146,6 +163,44 @@ def plan_order(
     """
     if budget < 1:
         raise ValueError(f"plan_order budget must be >= 1, got {budget}")
+    with telemetry_span(
+        "plan.order", budget=budget, seed=seed, cache_aware=cache_aware
+    ) as plan_span:
+        order, report = _plan_order_impl(
+            translated,
+            budget=budget,
+            seed=seed,
+            cost_model=cost_model,
+            parameters=parameters,
+            cache_aware=cache_aware,
+            cache=cache,
+            reduction=reduction,
+            eliminate_vanishing=eliminate_vanishing,
+        )
+        plan_span.set(
+            predicted_peak_states=report.predicted_peak_states,
+            predicted_steps=report.predicted_steps,
+            explored_candidates=report.explored_candidates,
+            num_groups=report.num_groups,
+            beam_width=report.beam_width,
+            improved_by_annealing=report.improved_by_annealing,
+        )
+        return order, report
+
+
+def _plan_order_impl(
+    translated: TranslatedModel,
+    *,
+    budget: int,
+    seed: int,
+    cost_model: CostModel | None,
+    parameters: "CostParameters | str | None",
+    cache_aware: bool,
+    cache: "QuotientCache | None",
+    reduction: str,
+    eliminate_vanishing: bool,
+) -> tuple[CompositionOrder, PlanReport]:
+    """The search itself (see :func:`plan_order`, the traced facade)."""
     started = time.perf_counter()
     if cost_model is not None:
         model = cost_model

@@ -35,6 +35,8 @@ import numpy as np
 
 from ..arcade.model import ArcadeModel
 from ..errors import ModelError
+from ..telemetry.trace import gauge_max, incr
+from ..telemetry.trace import span as telemetry_span
 from .compiled import compile_model
 from .importance import ImportanceFunction, importance_function
 from .rng import make_generator
@@ -167,6 +169,31 @@ class RestartSimulator:
             raise ModelError("RESTART needs at least two root trajectories")
         if not 0.0 <= burn_in < horizon:
             raise ModelError("burn_in must lie inside [0, horizon)")
+        with telemetry_span(
+            "simulate.restart", horizon=horizon, roots=roots, burn_in=burn_in
+        ) as restart_span:
+            result = self._run_traced(
+                horizon, roots, burn_in=burn_in, confidence=confidence, batches=batches
+            )
+            restart_span.set(
+                events=result.total_events,
+                levels=len(result.levels),
+                peak_population=result.max_population,
+                saturated=result.saturated,
+            )
+            incr("simulate.events", result.total_events)
+            gauge_max("restart.peak_population", result.max_population)
+            return result
+
+    def _run_traced(
+        self,
+        horizon: float,
+        roots: int,
+        *,
+        burn_in: float,
+        confidence: float,
+        batches: int,
+    ) -> RestartResult:
         num_levels = self.importance.num_levels
         chunk = max(2, min(self.ROOT_CHUNK, self.max_population // max(self.splitting)))
         parts: list[np.ndarray] = []

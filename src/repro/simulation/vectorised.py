@@ -35,6 +35,7 @@ draws, which enables the two draw modes:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,6 +46,8 @@ from ..arcade.repair_unit import RepairStrategy
 from ..distributions.phase_type import PhaseType
 from ..errors import ModelError
 from .compiled import MODE_DF, MODE_NONE, CompiledComponent, CompiledModel, compile_model
+from ..telemetry.trace import incr, observe
+from ..telemetry.trace import span as telemetry_span
 from .engine import SimulationEstimate, SimulationTrace
 from .rng import make_generator, trajectory_generators
 from .stats import StoppingReport, run_until_relative_error
@@ -777,27 +780,37 @@ class VectorisedSimulator:
         """
         if replications < 1:
             raise ModelError("run_batch needs at least one replication")
-        logs = None
-        if log is not None:
-            logs = [[] for _ in range(replications)]
-            log.extend(logs)
-        runtime = _Runtime(
-            self.compiled,
-            replications,
-            self._broker(replications, first_index),
-            logs=logs,
-        )
-        while runtime.step(horizon):
-            pass
-        return BatchResult(
-            horizon=horizon,
-            down_time=runtime.down_time,
-            up_time=runtime.up_time,
-            failures=runtime.failures,
-            first_failure_time=runtime.first_fail,
-            down_at_end=runtime.sysdown.copy(),
-            events=runtime.events,
-        )
+        with telemetry_span(
+            "simulate.batch", horizon=horizon, replications=replications
+        ) as batch_span:
+            started = time.perf_counter()
+            logs = None
+            if log is not None:
+                logs = [[] for _ in range(replications)]
+                log.extend(logs)
+            runtime = _Runtime(
+                self.compiled,
+                replications,
+                self._broker(replications, first_index),
+                logs=logs,
+            )
+            while runtime.step(horizon):
+                pass
+            total_events = int(runtime.events.sum())
+            elapsed = time.perf_counter() - started
+            batch_span.set(events=total_events)
+            incr("simulate.events", total_events)
+            if elapsed > 0:
+                observe("simulate.events_per_second", total_events / elapsed)
+            return BatchResult(
+                horizon=horizon,
+                down_time=runtime.down_time,
+                up_time=runtime.up_time,
+                failures=runtime.failures,
+                first_failure_time=runtime.first_fail,
+                down_at_end=runtime.sysdown.copy(),
+                events=runtime.events,
+            )
 
     def estimate(self, horizon: float, replications: int) -> SimulationEstimate:
         """Drop-in replacement for :meth:`ArcadeSimulator.estimate`."""

@@ -40,6 +40,8 @@ from ..arcade.model import ArcadeModel
 from ..composer import QuotientCache, resolve_cache
 from ..errors import SweepError
 from ..simulation.rng import point_seed
+from ..telemetry.trace import incr, observe
+from ..telemetry.trace import span as telemetry_span
 from .sensitivity import (
     ImportanceRow,
     SensitivityRow,
@@ -236,6 +238,20 @@ def enumerate_points(config: SweepConfig) -> list[tuple[str, dict]]:
 
 def run_sweep(factory: SweepFactory, config: SweepConfig) -> SweepResult:
     """Evaluate the whole parameter space against one shared cache."""
+    with telemetry_span(
+        "sweep.run", factory=factory.name, jobs=config.jobs, backend=config.backend
+    ) as sweep_span:
+        result = _run_sweep_impl(factory, config)
+        totals = result.manifest["totals"]
+        sweep_span.set(
+            points=totals["points"],
+            evaluations=totals["evaluations"],
+            seconds=totals["seconds"],
+        )
+        return result
+
+
+def _run_sweep_impl(factory: SweepFactory, config: SweepConfig) -> SweepResult:
     sensitivity_axes = tuple(
         config.sensitivity_axes if config.sensitivity_axes is not None
         else factory.rate_axes
@@ -278,7 +294,17 @@ def run_sweep(factory: SweepFactory, config: SweepConfig) -> SweepResult:
             kind=kind,
         )
         arguments.update(overrides)
-        return evaluate_point(factory, values, **arguments)
+        with telemetry_span("sweep.point", index=index, kind=kind) as point_span:
+            row = evaluate_point(factory, values, **arguments)
+            point_span.set(
+                backend=row.backend,
+                cache_hits=row.cache_hits,
+                cache_misses=row.cache_misses,
+                seconds=row.seconds,
+            )
+            incr("sweep.points")
+            observe("sweep.point_seconds", row.seconds)
+            return row
 
     rows = [evaluate(values, kind) for kind, values in specs]
 

@@ -1,0 +1,6 @@
+"""``python -m repro.telemetry`` — the telemetry report CLI."""
+
+from .report import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

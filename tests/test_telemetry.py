@@ -1,0 +1,279 @@
+"""Tests of the telemetry layer: spans, metrics, sinks, report, purity.
+
+The last class pins the observational contract of the whole subsystem: a
+pipeline run with telemetry active is bit-identical — measures and cache
+hit/miss flags — to the same run with telemetry off.
+"""
+
+import json
+
+import pytest
+
+from repro.casestudies.dds import (
+    DDSParameters,
+    MISSION_TIME_HOURS,
+    build_dds_evaluator,
+)
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    RunManifest,
+    Telemetry,
+    current_telemetry,
+    load_run,
+    render_text,
+    report_data,
+)
+from repro.telemetry.report import main as report_main, phase_rows
+from repro.telemetry.trace import NULL_SPAN, incr, span
+
+
+# --------------------------------------------------------------------------- #
+# metrics registry
+# --------------------------------------------------------------------------- #
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc()
+        registry.counter("cache.hits").inc(2)
+        registry.gauge("peak").update_max(10)
+        registry.gauge("peak").update_max(4)
+        registry.histogram("rounds").observe(3)
+        registry.histogram("rounds").observe(5)
+
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"cache.hits": 3.0}
+        assert snapshot["gauges"] == {"peak": 10.0}
+        rounds = snapshot["histograms"]["rounds"]
+        assert rounds["count"] == 2
+        assert rounds["sum"] == 8.0
+        assert rounds["min"] == 3.0
+        assert rounds["max"] == 5.0
+        assert rounds["mean"] == 4.0
+
+    def test_merge_snapshot_semantics(self):
+        """Counters add, gauges max, histograms combine — like the cache merge."""
+        parent = MetricsRegistry()
+        parent.counter("cache.hits").inc(2)
+        parent.gauge("peak").update_max(100)
+        parent.histogram("rounds").observe(7)
+
+        worker = MetricsRegistry()
+        worker.counter("cache.hits").inc(3)
+        worker.gauge("peak").update_max(40)
+        worker.histogram("rounds").observe(1)
+        worker.histogram("rounds").observe(9)
+
+        parent.merge_snapshot(worker.snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["cache.hits"] == 5.0
+        assert snapshot["gauges"]["peak"] == 100.0
+        rounds = snapshot["histograms"]["rounds"]
+        assert rounds["count"] == 3
+        assert rounds["min"] == 1.0
+        assert rounds["max"] == 9.0
+
+    def test_untouched_gauge_cannot_drag_a_peak_down(self):
+        parent = MetricsRegistry()
+        parent.gauge("peak").update_max(50)
+        worker = MetricsRegistry()
+        worker.gauge("peak")  # created, never written
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.snapshot()["gauges"]["peak"] == 50.0
+
+    def test_merge_empty_snapshot_is_noop(self):
+        registry = MetricsRegistry()
+        registry.merge_snapshot(None)
+        registry.merge_snapshot({})
+        assert registry.snapshot() == {}
+
+
+# --------------------------------------------------------------------------- #
+# spans and ambient helpers
+# --------------------------------------------------------------------------- #
+class TestSpans:
+    def test_nesting_records_parent_ids(self):
+        telemetry = Telemetry(MemorySink())
+        with telemetry.activate():
+            with span("outer") as outer:
+                with span("inner", depth=2) as inner:
+                    inner.set(extra=True)
+                assert inner.parent_id == outer.span_id
+        events = telemetry.export_events()
+        names = {event["name"]: event for event in events}
+        assert names["inner"]["parent_id"] == names["outer"]["span_id"]
+        assert names["outer"]["parent_id"] is None
+        assert names["inner"]["attrs"] == {"depth": 2, "extra": True}
+        assert all(event["trace_id"] == telemetry.run_id for event in events)
+        # Children are emitted before their parents close (exit order).
+        assert [event["name"] for event in events] == ["inner", "outer"]
+
+    def test_ambient_helpers_are_noops_without_a_session(self):
+        assert current_telemetry() is None
+        with span("anything", ignored=1) as record:
+            assert record is NULL_SPAN
+            record.set(swallowed=True)  # must not raise
+        incr("nothing")  # must not raise
+
+    def test_ingest_reparents_worker_roots_and_restamps_trace(self):
+        worker = Telemetry(MemorySink())
+        with worker.activate():
+            with worker.span("compose.subtree"):
+                with worker.span("compose.step"):
+                    pass
+        shipped = worker.export_events()
+
+        parent = Telemetry(MemorySink())
+        with parent.activate():
+            with parent.span("compose.parallel") as dispatch:
+                parent.ingest(shipped, parent_id=dispatch.span_id)
+        events = parent.export_events()
+        by_name = {event["name"]: event for event in events}
+        assert by_name["compose.subtree"]["parent_id"] == dispatch.span_id
+        # The intra-worker edge survives untouched.
+        assert (
+            by_name["compose.step"]["parent_id"]
+            == by_name["compose.subtree"]["span_id"]
+        )
+        assert {event["trace_id"] for event in events} == {parent.run_id}
+
+
+# --------------------------------------------------------------------------- #
+# JSONL sink, manifest, loader, report
+# --------------------------------------------------------------------------- #
+class TestJsonlRoundTrip:
+    def _write_run(self, path):
+        manifest = RunManifest.capture("testtool", args={"x": 1}, seeds={"seed": 7})
+        telemetry = Telemetry(JsonlSink(path), manifest=manifest)
+        with telemetry.activate():
+            with telemetry.span("compose.run") as root:
+                with telemetry.span("compose.step"):
+                    incr("cache.hits", 3)
+                    incr("cache.misses", 1)
+            root.set(ctmc_states=21)
+        telemetry.close()
+        return telemetry
+
+    def test_round_trip_and_report(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        telemetry = self._write_run(path)
+
+        run = load_run(path)
+        assert run.manifest["tool"] == "testtool"
+        assert run.manifest["schema_version"] == SCHEMA_VERSION
+        assert run.manifest["seeds"] == {"seed": 7}
+        assert run.label == telemetry.run_id
+        assert {event["name"] for event in run.spans} == {
+            "compose.run",
+            "compose.step",
+        }
+        assert run.counters()["cache.hits"] == 3.0
+
+        rows = {row["name"]: row for row in phase_rows(run)}
+        assert rows["compose.run"]["count"] == 1
+        assert rows["compose.run"]["share"] == pytest.approx(1.0)
+
+        text = render_text([run])
+        assert "phase timings:" in text
+        assert "cache effectiveness:" in text
+        data = report_data([run])
+        assert data["runs"][0]["cache"]["hits"] == 3
+
+    def test_report_cli(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        self._write_run(path)
+        assert report_main(["report", str(path)]) == 0
+        assert "phase timings:" in capsys.readouterr().out
+        assert report_main(["report", str(path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["runs"][0]["tool"] == "testtool"
+
+    def test_loader_rejects_missing_file(self, tmp_path):
+        with pytest.raises(TelemetryError, match="does not exist"):
+            load_run(tmp_path / "absent.jsonl")
+        assert report_main(["report", str(tmp_path / "absent.jsonl")]) == 2
+
+    def test_loader_rejects_bad_json_and_newer_schema(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        with pytest.raises(TelemetryError, match="not valid JSON"):
+            load_run(bad)
+        newer = tmp_path / "newer.jsonl"
+        newer.write_text(
+            json.dumps(
+                {"type": "manifest", "schema_version": SCHEMA_VERSION + 1}
+            )
+            + "\n"
+        )
+        with pytest.raises(TelemetryError, match="schema"):
+            load_run(newer)
+
+
+# --------------------------------------------------------------------------- #
+# pipeline instrumentation
+# --------------------------------------------------------------------------- #
+SMALL = DDSParameters(num_clusters=2)
+
+
+class TestPipelineInstrumentation:
+    def test_compose_emits_spans_and_cache_counters(self):
+        telemetry = Telemetry(MemorySink())
+        with telemetry.activate():
+            evaluator = build_dds_evaluator(SMALL, cache="on")
+            evaluator.availability()
+        names = {event["name"] for event in telemetry.export_events()}
+        assert {"compose.run", "compose.step", "reduce.strong", "lumping.refine"} <= names
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["cache.hits"] > 0
+        assert counters["cache.misses"] > 0
+        summary = evaluator.cache.summary()
+        assert counters["cache.hits"] == summary["hits"]
+        assert counters["cache.misses"] == summary["misses"]
+
+    def test_parallel_workers_merge_into_one_trace(self):
+        telemetry = Telemetry(MemorySink())
+        with telemetry.activate():
+            evaluator = build_dds_evaluator(SMALL, jobs=2)
+            availability = evaluator.availability()
+        events = [
+            event
+            for event in telemetry.export_events()
+            if event.get("type") == "span"
+        ]
+        assert {event["trace_id"] for event in events} == {telemetry.run_id}
+        pids = {event["pid"] for event in events}
+        assert len(pids) > 1, "worker spans must ship back to the parent"
+        subtrees = [e for e in events if e["name"] == "compose.subtree"]
+        parallels = {
+            e["span_id"] for e in events if e["name"] == "compose.parallel"
+        }
+        assert subtrees, "workers must record their subtree spans"
+        assert all(e["parent_id"] in parallels for e in subtrees)
+        # Same result as the serial run, worker spans or not.
+        serial = build_dds_evaluator(SMALL)
+        assert availability == serial.availability()
+
+
+# --------------------------------------------------------------------------- #
+# observational purity (telemetry on == telemetry off, bit for bit)
+# --------------------------------------------------------------------------- #
+class TestObservationalPurity:
+    def _run(self, with_telemetry: bool):
+        telemetry = Telemetry(MemorySink()) if with_telemetry else None
+        evaluator = build_dds_evaluator(SMALL, cache="on", telemetry=telemetry)
+        availability = evaluator.availability()
+        reliability = evaluator.reliability(MISSION_TIME_HOURS)
+        hit_flags = [
+            step.cache_hit for step in evaluator.composed.statistics.steps
+        ]
+        return availability, reliability, hit_flags
+
+    def test_telemetry_does_not_change_results(self):
+        baseline = self._run(with_telemetry=False)
+        traced = self._run(with_telemetry=True)
+        assert traced[0] == baseline[0], "availability must be bit-identical"
+        assert traced[1] == baseline[1], "reliability must be bit-identical"
+        assert traced[2] == baseline[2], "cache hit flags must be identical"

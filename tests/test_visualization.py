@@ -1,0 +1,74 @@
+"""Smoke tests of the I/O-IMC export helpers (Graphviz dot / plain text).
+
+The renders carry no numerical meaning, so the tests pin the structural
+invariants instead: every state and transition of a DDS building block shows
+up exactly once, with the paper's drawing convention (dashed Markovian
+edges, decorated interactive actions).
+"""
+
+import pytest
+
+from repro.arcade.semantics import translate_model
+from repro.casestudies.dds import DDSParameters, build_dds_model
+from repro.ioimc.visualization import to_dot, to_text
+
+
+@pytest.fixture(scope="module")
+def dds_blocks():
+    translated = translate_model(build_dds_model(DDSParameters(num_clusters=1)))
+    return translated.blocks
+
+
+@pytest.fixture(scope="module")
+def processor(dds_blocks):
+    """The DDS primary processor block — small, with both transition kinds."""
+    return dds_blocks["pp"]
+
+
+class TestToDot:
+    def test_node_and_edge_counts(self, processor):
+        dot = to_dot(processor)
+        # One shape=circle node per state, plus the initial-state marker.
+        assert dot.count("shape=circle") == processor.num_states
+        assert dot.count("__init") == 2  # declaration + initial edge
+        interactive = sum(1 for _ in processor.iter_interactive())
+        markovian = sum(1 for _ in processor.iter_markovian())
+        assert dot.count("->") == interactive + markovian + 1  # + initial edge
+        # Markovian transitions follow the paper's dashed convention.
+        assert dot.count("style=dashed") == markovian
+
+    def test_wellformed_graphviz(self, processor):
+        dot = to_dot(processor)
+        assert dot.startswith(f'digraph "{processor.name}"')
+        assert dot.rstrip().endswith("}")
+        assert "rankdir=LR;" in dot
+
+    def test_renders_every_block(self, dds_blocks):
+        for name, block in dds_blocks.items():
+            dot = to_dot(block)
+            assert dot.count("shape=circle") == block.num_states, name
+
+
+class TestToText:
+    def test_header_and_state_lines(self, processor):
+        text = to_text(processor)
+        lines = text.splitlines()
+        assert lines[0] == f"I/O-IMC {processor.name}"
+        assert f"states: {processor.num_states}" in lines[1]
+        assert sum(1 for line in lines if line.startswith("  state ")) == (
+            processor.num_states
+        )
+        markovian = sum(1 for _ in processor.iter_markovian())
+        assert sum(1 for line in lines if "--rate " in line) == markovian
+
+    def test_input_self_loops_hidden_by_default(self, dds_blocks):
+        for block in dds_blocks.values():
+            terse = to_text(block)
+            full = to_text(block, include_input_self_loops=True)
+            assert len(full.splitlines()) >= len(terse.splitlines())
+
+    def test_signature_listed(self, processor):
+        text = to_text(processor)
+        assert "inputs:" in text
+        assert "outputs:" in text
+        assert "internals:" in text
