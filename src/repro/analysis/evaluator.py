@@ -113,6 +113,8 @@ class ArcadeEvaluator:
         sim_burn_in: float | None = None,
         sim_confidence: float = 0.99,
         telemetry: "Telemetry | None" = None,
+        retry=None,
+        state_budget: int | None = None,
     ) -> None:
         if backend not in ("compose", "simulate", "auto"):
             raise ModelError(
@@ -154,6 +156,11 @@ class ArcadeEvaluator:
         #: Worker processes for the composer's parallel subtree aggregation
         #: (``1`` = serial; forwarded as ``Composer(jobs=...)``).
         self.jobs = jobs
+        #: Resilience bounds, forwarded to the composer: the worker-pool
+        #: :class:`~repro.resilience.RetryPolicy` (``None`` = defaults) and
+        #: the pre-reduction state ceiling per composition step.
+        self.retry = retry
+        self.state_budget = state_budget
         #: Explicit telemetry session: the pipeline stages run inside its
         #: activation scope, so composer/lumping/simulation spans land in it
         #: even when the caller did not activate the session itself.  With
@@ -223,6 +230,8 @@ class ArcadeEvaluator:
                     plan_seed=self.plan_seed,
                     plan_parameters=self.plan_parameters,
                     jobs=self.jobs,
+                    retry=self.retry,
+                    state_budget=self.state_budget,
                 )
         return self._composed
 
@@ -261,6 +270,8 @@ class ArcadeEvaluator:
                     plan_seed=self.plan_seed,
                     plan_parameters=self.plan_parameters,
                     jobs=self.jobs,
+                    retry=self.retry,
+                    state_budget=self.state_budget,
                 )
         return self._composed_no_repair
 

@@ -51,6 +51,8 @@ class ModularEvaluator:
         reduction: str = "strong",
         cache=None,
         jobs: int = 1,
+        retry=None,
+        state_budget: int | None = None,
     ) -> None:
         if not subsystems:
             raise ModelError("a modular evaluation needs at least one subsystem")
@@ -67,6 +69,10 @@ class ModularEvaluator:
         #: Worker processes forwarded to every subsystem evaluator's composer
         #: (``1`` = serial).
         self.jobs = jobs
+        #: Resilience bounds forwarded to every subsystem evaluator (the
+        #: worker retry policy and the per-step state-budget ceiling).
+        self.retry = retry
+        self.state_budget = state_budget
         self._check_independence()
         for literal in system_down.atoms():
             if literal.component not in self.subsystems:
@@ -81,6 +87,8 @@ class ModularEvaluator:
                 reduction=reduction,
                 cache=self.cache,
                 jobs=jobs,
+                retry=retry,
+                state_budget=state_budget,
             )
             for name, model in self.subsystems.items()
         }

@@ -202,6 +202,8 @@ def build_dds_evaluator(
     cache="off",
     jobs: int = 1,
     telemetry=None,
+    retry=None,
+    state_budget: int | None = None,
 ) -> ArcadeEvaluator:
     """Evaluator for the full compositional-aggregation pipeline on the DDS.
 
@@ -220,7 +222,8 @@ def build_dds_evaluator(
     validate_order_choice(order)
     model = build_dds_model(parameters)
     evaluator = ArcadeEvaluator(
-        model, reduction=reduction, cache=cache, jobs=jobs, telemetry=telemetry
+        model, reduction=reduction, cache=cache, jobs=jobs, telemetry=telemetry,
+        retry=retry, state_budget=state_budget,
     )
     if order == "hierarchical":
         evaluator.order = dds_composition_order(evaluator.translated, parameters)
@@ -466,10 +469,11 @@ def main(argv: list[str] | None = None) -> None:
         get_logger,
         telemetry_session,
     )
-    from .sweep_cli import add_sweep_arguments, run_sweep_cli
+    from .sweep_cli import add_resilience_arguments, add_sweep_arguments, run_sweep_cli
 
     add_observability_arguments(parser)
     add_sweep_arguments(parser)
+    add_resilience_arguments(parser)
     args = parser.parse_args(argv)
     configure_logging(args)
     log = get_logger("dds")
@@ -534,13 +538,20 @@ def _run(args, log, run_sweep_cli) -> None:
         log.info("  reliability (5 weeks) %.9f", reliability)
         log.info("  wall-clock %.1fs", elapsed)
         return
+    from ..composer import resolve_cache
+    from .sweep_cli import load_cache_file, retry_from_args, save_cache_file
+
     started = time.perf_counter()
+    cache = resolve_cache(args.cache)
+    load_cache_file(cache, args)
     evaluator = build_dds_evaluator(
         parameters,
         reduction=args.reduction,
         order=args.order,
-        cache=args.cache,
+        cache=cache if cache is not None else "off",
         jobs=args.jobs,
+        retry=retry_from_args(args),
+        state_budget=args.state_budget,
     )
     availability = evaluator.availability()
     reliability = evaluator.reliability(MISSION_TIME_HOURS)
@@ -577,12 +588,22 @@ def _run(args, log, run_sweep_cli) -> None:
     )
     log.info("  availability          %.9f", availability)
     log.info("  reliability (5 weeks) %.9f", reliability)
+    if statistics.serial_fallbacks or statistics.worker_retries:
+        log.warning(
+            "  resilience: %s retry(ies), %s timeout(s), %s pool break(s), "
+            "%s serial fallback(s)",
+            statistics.worker_retries,
+            statistics.worker_timeouts,
+            statistics.pool_breaks,
+            statistics.serial_fallbacks,
+        )
     log.info(
         "  wall-clock %.1fs (compose %.1fs, reduce %.1fs)",
         elapsed,
         statistics.total_compose_seconds,
         statistics.total_reduce_seconds,
     )
+    save_cache_file(cache, args)
 
 
 if __name__ == "__main__":

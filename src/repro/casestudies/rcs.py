@@ -307,6 +307,8 @@ def build_rcs_modular_evaluator(
     order: str = "hierarchical",
     cache="off",
     jobs: int = 1,
+    retry=None,
+    state_budget: int | None = None,
 ) -> ModularEvaluator:
     """Modular evaluator of the full RCS (the paper's Section 5.2.2 analysis).
 
@@ -330,7 +332,7 @@ def build_rcs_modular_evaluator(
     system_down = Or([Literal("pumps", None), Literal("heat_exchange", None)])
     evaluator = ModularEvaluator(
         subsystems, system_down, orders=orders, reduction=reduction, cache=cache,
-        jobs=jobs,
+        jobs=jobs, retry=retry, state_budget=state_budget,
     )
     if order == "hierarchical":
         evaluator.evaluators["pumps"].order = subsystem_order(
@@ -482,10 +484,11 @@ def main(argv: list[str] | None = None) -> None:
         get_logger,
         telemetry_session,
     )
-    from .sweep_cli import add_sweep_arguments, run_sweep_cli
+    from .sweep_cli import add_resilience_arguments, add_sweep_arguments, run_sweep_cli
 
     add_observability_arguments(parser)
     add_sweep_arguments(parser)
+    add_resilience_arguments(parser)
     args = parser.parse_args(argv)
     configure_logging(args)
     log = get_logger("rcs")
@@ -536,9 +539,19 @@ def _run(args, log, run_sweep_cli) -> None:
         log.info("  wall-clock %.1fs", elapsed)
         return
 
+    from ..composer import resolve_cache
+    from .sweep_cli import load_cache_file, retry_from_args, save_cache_file
+
     started = time.perf_counter()
+    cache = resolve_cache(args.cache)
+    load_cache_file(cache, args)
     modular = build_rcs_modular_evaluator(
-        reduction=args.reduction, order=args.order, cache=args.cache, jobs=args.jobs
+        reduction=args.reduction,
+        order=args.order,
+        cache=cache if cache is not None else "off",
+        jobs=args.jobs,
+        retry=retry_from_args(args),
+        state_budget=args.state_budget,
     )
     pumps = modular.evaluators["pumps"]
     heat = modular.evaluators["heat_exchange"]
@@ -580,6 +593,7 @@ def _run(args, log, run_sweep_cli) -> None:
     log.info("  unavailability (50 h) %.6e", unavailability_50h)
     log.info("  unreliability  (50 h) %.6e", unreliability_50h)
     log.info("  wall-clock %.1fs", elapsed)
+    save_cache_file(cache, args)
 
 
 if __name__ == "__main__":

@@ -82,6 +82,135 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         help="skip the Birnbaum / improvement-potential conditioned "
         "evaluations",
     )
+    group.add_argument(
+        "--sweep-checkpoint",
+        default=None,
+        metavar="BASE",
+        help="crash-safe checkpoint pair (BASE.ckpt.npz + BASE.ckpt.cache.npz) "
+        "written as points complete; defaults to the --sweep-out base",
+    )
+    group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="write the checkpoint every N completed evaluations",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay a matching checkpoint before evaluating anything live "
+        "(bit-identical to an uninterrupted run)",
+    )
+    group.add_argument(
+        "--isolate-failures",
+        action="store_true",
+        help="a point whose evaluation raises a library error becomes an "
+        "error row instead of killing the sweep",
+    )
+
+
+def add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the shared resilience options on a case-study CLI parser."""
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--cache-file",
+        default=None,
+        metavar="PATH",
+        help="persist the quotient cache: load it (checksummed, corrupt "
+        "entries quarantined) before evaluating and save it atomically after",
+    )
+    group.add_argument(
+        "--state-budget",
+        type=int,
+        default=None,
+        metavar="STATES",
+        help="per-step ceiling on the pre-reduction state count; a step that "
+        "would exceed it fails fast with StateBudgetError instead of "
+        "exhausting memory",
+    )
+    group.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per parallel subtree task before the serial fallback",
+    )
+    group.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task timeout of the parallel subtree dispatch "
+        "(default: no timeout)",
+    )
+    group.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="base backoff between retry rounds (doubles per round)",
+    )
+    group.add_argument(
+        "--no-serial-fallback",
+        action="store_true",
+        help="fail the evaluation when a subtree exhausts its retries "
+        "instead of recomputing it serially in the parent",
+    )
+
+
+def retry_from_args(args: argparse.Namespace):
+    """Build the :class:`~repro.resilience.RetryPolicy` the CLI asked for.
+
+    Returns ``None`` when every knob is at its default, so the composer's
+    own default policy applies unchanged.
+    """
+    from ..resilience import RetryPolicy
+
+    attempts = getattr(args, "retry_attempts", 3)
+    timeout = getattr(args, "task_timeout", None)
+    backoff = getattr(args, "retry_backoff", 0.0)
+    fallback = not getattr(args, "no_serial_fallback", False)
+    if attempts == 3 and timeout is None and backoff == 0.0 and fallback:
+        return None
+    return RetryPolicy(
+        max_attempts=attempts,
+        timeout_seconds=timeout,
+        backoff_seconds=backoff,
+        serial_fallback=fallback,
+    )
+
+
+def load_cache_file(cache, args: argparse.Namespace) -> None:
+    """Warm ``cache`` from ``--cache-file`` when the file exists."""
+    import os
+
+    path = getattr(args, "cache_file", None)
+    if cache is None or path is None or not os.path.exists(path):
+        return
+    from ..resilience import load_cache
+
+    _, report = load_cache(path, cache)
+    log.info(
+        "  cache file: loaded %s entries from %s", report.loaded, report.path
+    )
+    if report.quarantined:
+        log.warning(
+            "  cache file: quarantined %s corrupt entries (%s)",
+            report.quarantined,
+            ", ".join(report.quarantined_keys),
+        )
+
+
+def save_cache_file(cache, args: argparse.Namespace) -> None:
+    """Persist ``cache`` to ``--cache-file`` (atomic, checksummed)."""
+    path = getattr(args, "cache_file", None)
+    if cache is None or path is None:
+        return
+    from ..resilience import save_cache
+
+    stored = save_cache(cache, path)
+    log.info("  cache file: saved %s entries to %s", stored, path)
 
 
 def parse_grid_specs(specs: list[str]) -> dict[str, list[float]]:
@@ -131,13 +260,24 @@ def run_sweep_cli(factory, args: argparse.Namespace, *, default_grid=None) -> Sw
                 "the sweep needs at least one --sweep-grid or --sweep-prior axis"
             )
         grid = dict(default_grid)
+    from ..composer import resolve_cache
+
+    checkpoint = getattr(args, "sweep_checkpoint", None)
+    if checkpoint is None and getattr(args, "resume", False):
+        checkpoint = args.sweep_out
+    if getattr(args, "resume", False) and checkpoint is None:
+        raise SweepError("--resume needs --sweep-checkpoint (or --sweep-out)")
+    # Resolve the cache here so --cache-file can warm it before the sweep
+    # and persist it afterwards (run_sweep accepts the instance unchanged).
+    cache = resolve_cache(getattr(args, "cache", "on"))
+    load_cache_file(cache, args)
     config = SweepConfig(
         grid=grid,
         priors=priors,
         lhs_samples=args.sweep_lhs if priors else 0,
         backend=getattr(args, "backend", "compose"),
         reduction=getattr(args, "reduction", "strong"),
-        cache=getattr(args, "cache", "on"),
+        cache=cache,
         jobs=getattr(args, "jobs", 1),
         root_seed=args.root_seed,
         fd_step=args.fd_step,
@@ -145,9 +285,16 @@ def run_sweep_cli(factory, args: argparse.Namespace, *, default_grid=None) -> Sw
         sim_replications=getattr(args, "replications", 256),
         sim_rel_error=getattr(args, "rel_error", None),
         sim_horizon=getattr(args, "sim_horizon", 10_000.0),
+        isolate_failures=getattr(args, "isolate_failures", False),
+        state_budget=getattr(args, "state_budget", None),
+        retry=retry_from_args(args),
+        checkpoint=checkpoint,
+        checkpoint_every=getattr(args, "checkpoint_every", 1),
+        resume=getattr(args, "resume", False),
     )
     result = run_sweep(factory, config)
     _log_summary(factory.name, result)
+    save_cache_file(cache, args)
     if args.sweep_out:
         npz_path, manifest_path = result.save(args.sweep_out)
         log.info("  store: %s + %s", npz_path, manifest_path)
@@ -163,6 +310,7 @@ def _log_summary(name: str, result: SweepResult) -> None:
         totals["evaluations"],
         totals["seconds"],
     )
+    _log_error_rows(result)
     cache = result.manifest.get("cache")
     if cache:
         log.info(
@@ -198,9 +346,19 @@ def _log_summary(name: str, result: SweepResult) -> None:
         )
 
 
+def _log_error_rows(result: SweepResult) -> None:
+    errors = result.manifest["totals"].get("errors", 0)
+    if errors:
+        log.warning("  %s point(s) failed and were isolated as error rows", errors)
+
+
 __all__ = [
+    "add_resilience_arguments",
     "add_sweep_arguments",
+    "load_cache_file",
     "parse_grid_specs",
     "parse_prior_specs",
+    "retry_from_args",
     "run_sweep_cli",
+    "save_cache_file",
 ]

@@ -339,6 +339,33 @@ class QuotientCache:
         return True
 
     # ------------------------------------------------------------------ #
+    # persistence hooks (see repro.resilience.diskcache)
+    # ------------------------------------------------------------------ #
+    def entries(self) -> dict[str, CacheEntry]:
+        """Snapshot of the memoised step entries, keyed as stored.
+
+        The on-disk persistence layer iterates this; leaf fingerprints and
+        representatives are *not* part of the snapshot — they recompute
+        deterministically from the actual leaves of the next run, and the
+        algebraic step keys derived from them match by construction.
+        """
+        return dict(self._entries)
+
+    def restore(self, key: str, entry: CacheEntry) -> None:
+        """Re-insert one persisted entry without touching the counters.
+
+        Counter state travels separately (the persistence layer restores the
+        saved ``hits``/``misses``/``stores`` block), so re-loading a cache
+        and then resuming a run reproduces the per-evaluation counter deltas
+        of the uninterrupted run exactly.
+        """
+        self._entries[key] = entry
+        base = key.split("|", 1)[0]
+        self._before_sizes.setdefault(
+            base, (entry.states_before, entry.transitions_before)
+        )
+
+    # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
     def summary(self) -> dict[str, float | int]:

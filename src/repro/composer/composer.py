@@ -27,13 +27,16 @@ rebased from the cache onto its concrete signal names (see
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as PoolTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from ..ctmc import CTMC, extract_ctmc, lump
-from ..errors import CompositionError
+from ..errors import CompositionError, StateBudgetError
 from ..ioimc import IOIMC, Signature, compose, hide
 from ..ioimc.canonical import rebase_actions
 from ..lumping import (
@@ -44,6 +47,8 @@ from ..lumping import (
     minimize_weak,
 )
 from ..arcade.semantics import TranslatedModel
+from ..resilience.faults import active_fault, active_fault_plan, inject_faults
+from ..resilience.retry import RecoveryEvent, RetryPolicy
 from ..telemetry.sink import MemorySink
 from ..telemetry.trace import Telemetry, current_telemetry, gauge_max, incr
 from ..telemetry.trace import span as telemetry_span
@@ -116,9 +121,25 @@ class CompositionStatistics:
     final_reduce_seconds: float = 0.0
     #: Worker-pool size the run used (1 = fully serial).
     jobs: int = 1
+    #: Subtree tasks re-submitted after a timeout or a pool break.
+    worker_retries: int = 0
+    #: Subtree tasks whose worker future exceeded the retry policy's deadline.
+    worker_timeouts: int = 0
+    #: Times the process pool broke (a worker died) and was recreated.
+    pool_breaks: int = 0
+    #: Subtree tasks composed serially in the parent after exhausting retries.
+    serial_fallbacks: int = 0
+    #: Every recovery action of the run, in the order it was taken — the
+    #: never-silent record: a run that survived a fault says so here, in the
+    #: ``resilience.*`` telemetry counters, and nowhere in its measures.
+    recovery_events: list[RecoveryEvent] = field(default_factory=list)
 
     def record(self, step: CompositionStep) -> None:
         self.steps.append(step)
+
+    def record_recovery(self, event: RecoveryEvent) -> None:
+        self.recovery_events.append(event)
+        incr(f"resilience.{event.kind}")
 
     @property
     def largest_intermediate_states(self) -> int:
@@ -196,6 +217,19 @@ class CompositionStatistics:
             "cache_hits": self.cache_hits,
             "cache_saved_seconds": self.cache_saved_seconds,
             "reductions_skipped": self.reductions_skipped,
+            "worker_retries": self.worker_retries,
+            "worker_timeouts": self.worker_timeouts,
+            "pool_breaks": self.pool_breaks,
+            "serial_fallbacks": self.serial_fallbacks,
+            "recovery_events": [
+                {
+                    "kind": event.kind,
+                    "key": event.key,
+                    "attempt": event.attempt,
+                    "detail": event.detail,
+                }
+                for event in self.recovery_events
+            ],
             "steps": self.as_table(),
         }
 
@@ -292,6 +326,26 @@ class Composer:
         parallelises (the sparse schedules are stateful across the whole
         step sequence); other policies, flat orders, and single-subtree
         orders fall back to the serial path.
+    retry:
+        :class:`~repro.resilience.RetryPolicy` bounding the parallel
+        dispatch's recovery from crashed (``BrokenProcessPool``) and hung
+        (per-task timeout) workers: bounded retry with backoff, then — when
+        the policy allows — graceful serial fallback in the parent.  Every
+        recovery is recorded in :class:`CompositionStatistics` and the
+        ``resilience.*`` telemetry counters; the composed result stays
+        bit-identical to an undisturbed run because the serial fallback and
+        the workers run the very same fold.  ``None`` uses the defaults
+        (3 attempts, no deadline, serial fallback on).  See
+        ``docs/robustness.md``.
+    state_budget:
+        Hard ceiling on any step's *pre-reduction* product size, in states.
+        A step that exceeds it raises
+        :class:`~repro.errors.StateBudgetError` (a
+        :class:`~repro.errors.CompositionError`) instead of consuming
+        unbounded memory — the sweep driver's per-point isolation turns
+        that into an error row.  Checked identically on cache hits (from
+        the entry's recorded pre-reduction size) and in worker processes.
+        ``None`` (default) disables the check.
     """
 
     def __init__(
@@ -310,6 +364,8 @@ class Composer:
         plan_seed: int = 0,
         plan_parameters: "CostParameters | str | None" = None,
         jobs: int = 1,
+        retry: "RetryPolicy | None" = None,
+        state_budget: int | None = None,
     ) -> None:
         if reduction not in REDUCTION_MODES:
             raise CompositionError(
@@ -321,6 +377,10 @@ class Composer:
             )
         if jobs < 1:
             raise CompositionError(f"jobs must be >= 1, got {jobs}")
+        if state_budget is not None and state_budget < 1:
+            raise CompositionError(
+                f"state_budget must be >= 1, got {state_budget}"
+            )
         if reduce_policy is None:
             reduce_policy = "every_n" if reduce_every_n > 1 else "always"
         if reduce_policy not in REDUCE_POLICIES:
@@ -359,6 +419,10 @@ class Composer:
         self.adaptive_reduction_states = adaptive_reduction_states
         #: Worker-pool size for parallel subtree aggregation (1 = serial).
         self.jobs = jobs
+        #: Recovery bounds of the parallel dispatch (defaults when ``None``).
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Pre-reduction state ceiling per step (``None`` = unbounded).
+        self.state_budget = state_budget
         self.statistics = CompositionStatistics()
         self._composed_blocks: set[str] = set()
         self._steps_since_reduction = 0
@@ -583,26 +647,14 @@ class Composer:
         with telemetry_span(
             "compose.parallel", workers=workers, subtrees=len(dispatch)
         ) as parallel_span:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    (
-                        index,
-                        pool.submit(
-                            _compose_subtree_worker,
-                            (
-                                self._subtree_translated(item),
-                                item,
-                                self.reduction,
-                                self.eliminate_vanishing,
-                                self.cache is not None,
-                                telemetry is not None,
-                            ),
-                        ),
-                    )
-                    for index, item in dispatch
-                ]
-                for index, future in futures:
-                    results[index] = future.result()
+            self._run_dispatch(dispatch, workers, telemetry is not None, results)
+            if self.statistics.recovery_events:
+                parallel_span.set(
+                    worker_retries=self.statistics.worker_retries,
+                    worker_timeouts=self.statistics.worker_timeouts,
+                    pool_breaks=self.statistics.pool_breaks,
+                    serial_fallbacks=self.statistics.serial_fallbacks,
+                )
 
             # Merge the worker-side observability alongside the statistics and
             # cache merges below: worker span events splice into this trace
@@ -665,6 +717,184 @@ class Composer:
             composite = composite.renamed(f"composite[{len(blocks)} blocks]")
         assert composite is not None  # len(items) >= 2 here
         return composite, blocks, fingerprint
+
+    def _subtree_payload(
+        self, item, traced: bool, task_id: str | None, attempt: int, fault_plan
+    ):
+        """The picklable argument tuple of one subtree task.
+
+        ``task_id``/``attempt`` key the worker-side injection sites
+        (``worker.crash``, ``worker.timeout``); the serial fallback passes
+        ``task_id=None`` and ``fault_plan=None`` so those sites stay dead in
+        the parent process — the parent-side sites (``compose.blowup``)
+        still see the ambient plan through the contextvar.
+        """
+        return (
+            self._subtree_translated(item),
+            item,
+            self.reduction,
+            self.eliminate_vanishing,
+            self.cache is not None,
+            traced,
+            self.state_budget,
+            task_id,
+            attempt,
+            fault_plan,
+        )
+
+    def _run_dispatch(
+        self,
+        dispatch: list,
+        workers: int,
+        traced: bool,
+        results: "dict[int, _SubtreeResult]",
+    ) -> None:
+        """Run the subtree tasks through the pool under the retry policy.
+
+        Fault model: a dispatched task either returns, raises a library
+        error, stalls past the policy deadline, or takes the pool down
+        (``BrokenProcessPool``).  Timeouts and pool breaks are *recoverable*
+        — the task is re-submitted up to ``max_attempts`` times (a broken
+        pool is recreated first), then composed serially in the parent when
+        the policy allows.  A library exception raised *by* the worker is
+        deterministic — retrying cannot change it — and propagates
+        immediately.  Every recovery is recorded on the statistics and the
+        ``resilience.*`` counters; none changes the composed result, because
+        workers, retries and the serial fallback all run the identical fold.
+
+        On any escaping exception — including ``KeyboardInterrupt`` — the
+        pool is torn down hard (``cancel_futures`` plus ``terminate`` on
+        live workers), so an aborted run leaves no orphan processes behind.
+        """
+        policy = self.retry
+        fault_plan = active_fault_plan()
+        statistics = self.statistics
+        pending: dict[int, tuple] = {index: (item, 0) for index, item in dispatch}
+        stalled = False
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            while pending:
+                futures = []
+                for index in sorted(pending):
+                    item, attempt = pending[index]
+                    delay = policy.backoff(attempt)
+                    if delay > 0.0:
+                        time.sleep(delay)
+                    futures.append(
+                        (
+                            index,
+                            pool.submit(
+                                _compose_subtree_worker,
+                                self._subtree_payload(
+                                    item,
+                                    traced,
+                                    f"subtree:{index}",
+                                    attempt,
+                                    fault_plan,
+                                ),
+                            ),
+                        )
+                    )
+                failures: dict[int, tuple[str, str]] = {}
+                pool_broken = False
+                for index, future in futures:
+                    if pool_broken:
+                        # The pool died earlier in this round: harvest what
+                        # finished, mark the rest as casualties of the break.
+                        if (
+                            future.done()
+                            and not future.cancelled()
+                            and future.exception() is None
+                        ):
+                            results[index] = future.result()
+                            del pending[index]
+                        else:
+                            failures[index] = (
+                                "pool_broken",
+                                "process pool broke during the round",
+                            )
+                        continue
+                    try:
+                        results[index] = future.result(
+                            timeout=policy.timeout_seconds
+                        )
+                        del pending[index]
+                    except PoolTimeout:
+                        # The stalled worker keeps its slot until it finishes;
+                        # its late result is discarded (the pool is killed at
+                        # the end instead of drained).
+                        stalled = True
+                        statistics.worker_timeouts += 1
+                        failures[index] = (
+                            "timeout",
+                            f"no result within {policy.timeout_seconds}s",
+                        )
+                    except BrokenProcessPool as error:
+                        pool_broken = True
+                        failures[index] = ("pool_broken", repr(error))
+                if pool_broken:
+                    statistics.pool_breaks += 1
+                    statistics.record_recovery(
+                        RecoveryEvent(
+                            kind="pool_broken",
+                            key="pool",
+                            attempt=-1,
+                            detail="a worker died; recreating the pool",
+                        )
+                    )
+                    _terminate_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                for index in sorted(failures):
+                    kind, detail = failures[index]
+                    item, attempt = pending[index]
+                    if kind == "timeout":
+                        statistics.record_recovery(
+                            RecoveryEvent(
+                                kind="timeout",
+                                key=f"subtree:{index}",
+                                attempt=attempt,
+                                detail=detail,
+                            )
+                        )
+                    if attempt + 1 < policy.max_attempts:
+                        statistics.worker_retries += 1
+                        statistics.record_recovery(
+                            RecoveryEvent(
+                                kind="retry",
+                                key=f"subtree:{index}",
+                                attempt=attempt + 1,
+                                detail=f"re-dispatch after {kind}",
+                            )
+                        )
+                        pending[index] = (item, attempt + 1)
+                    elif policy.serial_fallback:
+                        statistics.serial_fallbacks += 1
+                        statistics.record_recovery(
+                            RecoveryEvent(
+                                kind="serial_fallback",
+                                key=f"subtree:{index}",
+                                attempt=attempt,
+                                detail=f"attempts exhausted after {kind}; "
+                                "composing in the parent",
+                            )
+                        )
+                        results[index] = _compose_subtree_worker(
+                            self._subtree_payload(item, traced, None, 0, None)
+                        )
+                        del pending[index]
+                    else:
+                        raise CompositionError(
+                            f"subtree task {index} failed after "
+                            f"{policy.max_attempts} attempt(s) ({kind}: {detail}) "
+                            "and serial fallback is disabled"
+                        )
+        except BaseException:
+            _terminate_pool(pool)
+            raise
+        if stalled:
+            _terminate_pool(pool)
+        else:
+            pool.shutdown(wait=True)
 
     def _task_key(self, item: "CompositionOrder | str"):
         """Structural identity of one subtree task (leaf digests + shape).
@@ -790,6 +1020,10 @@ class Composer:
                 entry = cache.get(key)
 
         if entry is not None:
+            # The budget applies to the *pre-reduction* product a cold run
+            # would have built — the entry recorded its size, so a capped
+            # run behaves identically with the cache on or off.
+            self._check_budget(description, entry.states_before)
             # Cache hit: rebase the stored quotient onto this subtree's
             # concrete signal names; no product, no refinement.
             rename = {
@@ -836,6 +1070,7 @@ class Composer:
             return composite, SubtreeFingerprint(key, plan.slots)
 
         composite, before = ensure_built()
+        self._check_budget(description, before["states"])
         compose_seconds = time.perf_counter() - compose_started
         reduce_seconds = 0.0
         if should_reduce:
@@ -881,6 +1116,29 @@ class Composer:
         self._note_reduction(should_reduce, before["states"], after["states"])
         self.statistics.record(step)
         return composite, next_fingerprint
+
+    def _check_budget(self, description: str, states: int) -> None:
+        """Enforce the pre-reduction state ceiling on one step.
+
+        Only live when ``state_budget`` is set; the ``compose.blowup``
+        injection site (keyed by the step description) then inflates the
+        observed size, so chaos tests can trigger a deterministic
+        :class:`~repro.errors.StateBudgetError` on an otherwise small model.
+        """
+        budget = self.state_budget
+        if budget is None:
+            return
+        observed = float(states)
+        fault = active_fault("compose.blowup", key=description)
+        if fault is not None:
+            observed = observed * fault.factor
+            incr("resilience.fault.blowup")
+        if observed > budget:
+            inflated = " (inflated by an injected blowup)" if fault is not None else ""
+            raise StateBudgetError(
+                f"step {description!r}: intermediate product of {states} "
+                f"states{inflated} exceeds the state budget of {budget}"
+            )
 
     def _note_reduction(self, reduced: bool, before: int, after: int) -> None:
         """Update the schedule counter and the adaptive shrinkage history."""
@@ -957,6 +1215,23 @@ class Composer:
         return automaton
 
 
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without draining it, leaving no orphan workers.
+
+    Used on abort (``KeyboardInterrupt``/SIGTERM, escaping errors), after a
+    ``BrokenProcessPool`` and when timed-out workers are still stalled at
+    the end of dispatch: queued futures are cancelled and live worker
+    processes terminated, then reaped with a short join.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=1.0)
+
+
 def _flatten_names(item: "CompositionOrder | str") -> list[str]:
     """Block names of a (possibly nested) order item, in composition sequence."""
     if isinstance(item, str):
@@ -1011,34 +1286,63 @@ def _compose_subtree_worker(payload) -> _SubtreeResult:
     """Process-pool entry point: compose one independent subtree.
 
     The payload carries a restricted :class:`TranslatedModel` (the subtree's
-    blocks plus the full-model listener table) and the reduction settings.
+    blocks plus the full-model listener table), the reduction settings, the
+    state budget, and the fault-injection context: the parent's
+    :class:`~repro.resilience.FaultPlan` (contextvars do not cross the
+    process boundary, so the plan travels in the payload and is re-activated
+    here) plus this task's stable id and retry attempt, which key the
+    worker-side injection sites — ``worker.crash`` fail-stops the process
+    (the parent observes a ``BrokenProcessPool``), ``worker.timeout`` stalls
+    it past the parent's deadline.  The serial fallback calls this function
+    in-process with ``task_id=None``, which keeps both sites dead.
+
     The worker runs the ordinary serial fold — against a fresh cache when
     the parent run caches, so within-subtree replicas still hit — and
     returns the composite, its per-step statistics and the cache for the
     parent to merge.  When the parent run is traced, the worker runs its own
     memory-sink telemetry session and ships the buffered span events and
-    metrics snapshot back alongside (contextvars do not cross the process
-    boundary, so the ambient session must be rebuilt here).
+    metrics snapshot back alongside.
     """
-    translated, item, reduction, eliminate_vanishing, use_cache, traced = payload
-    composer = Composer(
+    (
         translated,
-        order=item,
-        reduction=reduction,
-        eliminate_vanishing=eliminate_vanishing,
-        cache="on" if use_cache else None,
-    )
-    events: tuple = ()
-    metrics_snapshot: dict | None = None
-    if traced:
-        telemetry = Telemetry(MemorySink())
-        with telemetry.activate():
-            with telemetry.span("compose.subtree", subtree_blocks=len(_flatten_names(item))):
-                ioimc, blocks, fingerprint = composer._compose_group(item)
-        events = tuple(telemetry.export_events())
-        metrics_snapshot = telemetry.metrics.snapshot() or None
-    else:
-        ioimc, blocks, fingerprint = composer._compose_group(item)
+        item,
+        reduction,
+        eliminate_vanishing,
+        use_cache,
+        traced,
+        state_budget,
+        task_id,
+        attempt,
+        fault_plan,
+    ) = payload
+    with inject_faults(fault_plan):
+        if task_id is not None:
+            if active_fault("worker.crash", key=task_id, attempt=attempt) is not None:
+                # Fail-stop, as a real worker crash would be: no unwinding, no
+                # result, the parent's pool breaks.
+                os._exit(17)
+            stall = active_fault("worker.timeout", key=task_id, attempt=attempt)
+            if stall is not None:
+                time.sleep(stall.sleep_seconds)
+        composer = Composer(
+            translated,
+            order=item,
+            reduction=reduction,
+            eliminate_vanishing=eliminate_vanishing,
+            cache="on" if use_cache else None,
+            state_budget=state_budget,
+        )
+        events: tuple = ()
+        metrics_snapshot: dict | None = None
+        if traced:
+            telemetry = Telemetry(MemorySink())
+            with telemetry.activate():
+                with telemetry.span("compose.subtree", subtree_blocks=len(_flatten_names(item))):
+                    ioimc, blocks, fingerprint = composer._compose_group(item)
+            events = tuple(telemetry.export_events())
+            metrics_snapshot = telemetry.metrics.snapshot() or None
+        else:
+            ioimc, blocks, fingerprint = composer._compose_group(item)
     cache = composer.cache
     if cache is not None:
         # The leaf-fingerprint memo is keyed by object identity, which is
@@ -1070,14 +1374,17 @@ def compose_model(
     plan_seed: int = 0,
     plan_parameters: "CostParameters | str | None" = None,
     jobs: int = 1,
+    retry: "RetryPolicy | None" = None,
+    state_budget: int | None = None,
 ) -> ComposedSystem:
     """One-call wrapper around :class:`Composer`.
 
     Accepts the same keyword arguments (see the :class:`Composer` docstring
     for the reduction policy — ``reduction``, ``reduce_policy``,
     ``reduce_every_n``, ``adaptive_reduction_states`` — the quotient cache
-    — ``cache`` — and the order planner — ``order="auto"``, ``plan_budget``,
-    ``plan_seed``, ``plan_parameters``) and returns the fully composed
+    — ``cache`` — the order planner — ``order="auto"``, ``plan_budget``,
+    ``plan_seed``, ``plan_parameters`` — and the resilience bounds —
+    ``retry``, ``state_budget``) and returns the fully composed
     :class:`ComposedSystem` with its I/O-IMC, CTMC and per-step statistics.
     """
     composer = Composer(
@@ -1094,6 +1401,8 @@ def compose_model(
         plan_seed=plan_seed,
         plan_parameters=plan_parameters,
         jobs=jobs,
+        retry=retry,
+        state_budget=state_budget,
     )
     return composer.compose()
 

@@ -68,6 +68,33 @@ class SweepError(ArcadeError):
     """A parameter sweep is ill-specified (bad axes, priors or conditioning)."""
 
 
+class ResilienceError(ArcadeError):
+    """The resilience layer itself was misused (bad fault plan, bad policy)."""
+
+
+class StateBudgetError(CompositionError):
+    """An intermediate state space exceeded the configured budget.
+
+    Raised by :class:`repro.composer.Composer` when ``state_budget`` is set
+    and a composition step's pre-reduction product exceeds it.  Deliberately
+    a :class:`CompositionError` subclass: callers that already guard
+    composition failures contain budget blowups for free, and the sweep
+    driver's per-point isolation turns it into an error row instead of a
+    dead sweep.
+    """
+
+
+class CacheStoreError(ArcadeError):
+    """An on-disk quotient-cache file could not be used at all.
+
+    Raised only for whole-file problems (unreadable archive, missing or
+    unparsable index, unsupported format version).  *Per-entry* corruption
+    never raises: checksum-failing entries are quarantined and reported, and
+    the load continues with the surviving entries (see
+    :mod:`repro.resilience.diskcache`).
+    """
+
+
 class AnalysisError(ArcadeError):
     """A numerical analysis step (steady state, transient, ...) failed."""
 

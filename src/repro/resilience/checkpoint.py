@@ -1,0 +1,169 @@
+"""Crash-safe checkpoint/resume for :func:`repro.sweep.run_sweep`.
+
+A checkpoint at base path ``<base>`` is two sibling files:
+
+``<base>.ckpt.npz``
+    The rows completed so far, as the same structured table the final store
+    uses, plus a uint8-encoded canonical-JSON ``meta`` member: format tag,
+    version, the sweep's *configuration fingerprint* and the axis list.
+``<base>.ckpt.cache.npz``
+    The shared :class:`~repro.composer.QuotientCache` at the moment of the
+    checkpoint, in the checksummed :mod:`repro.resilience.diskcache` format
+    (absent when the sweep runs cache-less).
+
+Both are written atomically (temp file + fsync + ``os.replace``), so a kill
+at any instant leaves a loadable pair.
+
+Why the cache is part of the checkpoint
+---------------------------------------
+The bit-identity contract of resume is *total*: a resumed sweep's store must
+match an uninterrupted run byte for byte (modulo the wall-clock ``seconds``
+columns, see :func:`repro.sweep.store.canonical_store_bytes`).  The measures
+replay trivially — every point is a pure function of its recorded seed — but
+the per-point ``cache_hits``/``cache_misses`` *deltas* depend on the cache
+state the point ran against.  Persisting the shared cache (entries and
+counters) and restoring it before the first live evaluation makes the
+resumed run's cache trajectory identical to the uninterrupted one's, so even
+those columns match.
+
+Resume replays the recorded rows positionally: evaluation ``index`` is the
+replay key, which also covers an interruption inside the derived phases
+(finite-difference, base and conditioned-importance evaluations) — those are
+just further evaluations in the same deterministic order.  A fingerprint
+mismatch (the sweep was reconfigured since the checkpoint) refuses loudly
+with :class:`~repro.errors.SweepError` rather than resuming into a
+different parameter space.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import SweepError
+from ..telemetry import incr, span
+from .diskcache import CacheLoadReport, atomic_savez, load_cache, save_cache
+
+#: Version of the checkpoint layout; the loader refuses other versions.
+CHECKPOINT_VERSION = 1
+
+_FORMAT = "repro-sweep-checkpoint"
+
+
+class SweepCheckpoint:
+    """One sweep's checkpoint pair (rows + shared cache) at a base path."""
+
+    def __init__(self, base: "str | Path", *, fingerprint: str, axes) -> None:
+        base = Path(base)
+        if base.suffix == ".npz":
+            base = base.with_suffix("")
+        self.base = base
+        self.fingerprint = fingerprint
+        self.axes = list(axes)
+        self.rows_path = base.parent / (base.name + ".ckpt.npz")
+        self.cache_path = base.parent / (base.name + ".ckpt.cache.npz")
+
+    def exists(self) -> bool:
+        return self.rows_path.exists()
+
+    def write(self, rows, cache) -> None:
+        """Persist the completed rows and (when present) the shared cache.
+
+        The cache archive is written first: if the kill lands between the
+        two renames, the rows file still describes a prefix of the cache's
+        history — replayed rows never *need* cache state, so a slightly
+        newer cache is harmless, while a slightly older one would shift the
+        first live point's hit/miss deltas.
+        """
+        from ..sweep.driver import rows_to_table
+
+        with span("resilience.checkpoint.write", rows=len(rows)):
+            if cache is not None:
+                save_cache(cache, self.cache_path)
+            meta = {
+                "format": _FORMAT,
+                "version": CHECKPOINT_VERSION,
+                "fingerprint": self.fingerprint,
+                "axes": self.axes,
+                "rows": len(rows),
+            }
+            atomic_savez(
+                self.rows_path,
+                {
+                    "meta": np.frombuffer(
+                        json.dumps(meta, sort_keys=True, separators=(",", ":")).encode(),
+                        dtype=np.uint8,
+                    ),
+                    "rows": rows_to_table(rows, self.axes),
+                },
+            )
+            incr("resilience.checkpoint.writes")
+
+    def load(self, cache) -> tuple[list, "CacheLoadReport | None"]:
+        """Load the recorded rows; restore the cache archive into ``cache``.
+
+        Returns ``(rows, cache_report)`` — ``cache_report`` is ``None`` when
+        the sweep runs cache-less or no cache archive exists.  Raises
+        :class:`~repro.errors.SweepError` on any structural mismatch
+        (unreadable file, wrong version, fingerprint or axis divergence):
+        a checkpoint that does not describe *this* sweep must never be
+        silently replayed into it.
+        """
+        from ..sweep.driver import rows_from_table
+
+        with span("resilience.checkpoint.load", path=str(self.rows_path)):
+            try:
+                archive = np.load(self.rows_path, allow_pickle=False)
+            except (OSError, ValueError) as error:
+                raise SweepError(
+                    f"cannot read sweep checkpoint {self.rows_path}: {error}"
+                ) from error
+            with archive:
+                try:
+                    meta = json.loads(bytes(archive["meta"]).decode())
+                    table = archive["rows"]
+                except (KeyError, ValueError, UnicodeDecodeError) as error:
+                    raise SweepError(
+                        f"sweep checkpoint {self.rows_path} is malformed: {error}"
+                    ) from error
+                if meta.get("format") != _FORMAT:
+                    raise SweepError(
+                        f"{self.rows_path} is not a sweep checkpoint "
+                        f"(format {meta.get('format')!r})"
+                    )
+                if meta.get("version") != CHECKPOINT_VERSION:
+                    raise SweepError(
+                        f"sweep checkpoint {self.rows_path} has unsupported "
+                        f"version {meta.get('version')!r} (this build reads "
+                        f"version {CHECKPOINT_VERSION})"
+                    )
+                if meta.get("fingerprint") != self.fingerprint:
+                    raise SweepError(
+                        f"sweep checkpoint {self.rows_path} was written by a "
+                        "different sweep configuration; refusing to resume "
+                        "(delete the checkpoint or restore the configuration)"
+                    )
+                if meta.get("axes") != self.axes:
+                    raise SweepError(
+                        f"sweep checkpoint {self.rows_path} has axes "
+                        f"{meta.get('axes')!r}, expected {self.axes!r}"
+                    )
+                rows = rows_from_table(table, self.axes)
+            report = None
+            if cache is not None and self.cache_path.exists():
+                _, report = load_cache(self.cache_path, cache)
+            incr("resilience.checkpoint.resumed_rows", len(rows))
+            return rows, report
+
+    def clear(self) -> None:
+        """Remove the checkpoint pair (missing files are fine)."""
+        for path in (self.rows_path, self.cache_path):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+
+__all__ = ["CHECKPOINT_VERSION", "SweepCheckpoint"]

@@ -1,0 +1,100 @@
+"""Retry policy and recovery bookkeeping for parallel subtree dispatch.
+
+The fault model of the worker pool is fail-stop plus slow: a dispatched
+subtree either returns, raises, stalls past its deadline, or takes the whole
+:class:`~concurrent.futures.ProcessPoolExecutor` down with it
+(``BrokenProcessPool``).  :class:`RetryPolicy` bounds the recovery —
+how long one task may run, how often it is retried, how long to back off
+between rounds, and whether a pool that keeps breaking may fall back to
+composing the remaining subtrees serially in the parent.
+
+Every recovery action is recorded as a :class:`RecoveryEvent` on
+``CompositionStatistics.recovery_events`` and counted in telemetry
+(``resilience.*`` counters) — the contract is *never silent*: a run that
+recovered from a fault says so in its statistics, its trace and its logs,
+while its computed measures stay bit-identical to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ResilienceError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds on the composer's parallel-dispatch recovery machinery.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per subtree task (first run included).  A task that
+        exhausts its attempts is composed serially in the parent when
+        ``serial_fallback`` allows, otherwise the original failure is
+        re-raised.
+    timeout_seconds:
+        Per-task deadline enforced on the worker future (``None`` = no
+        deadline).  A timed-out task is retried; the stalled worker keeps
+        its pool slot until it finishes and its late result is discarded.
+    backoff_seconds:
+        Base sleep before retry attempt ``n`` (``backoff_seconds *
+        backoff_factor ** (n - 1)``).  Defaults to 0: the faults this layer
+        recovers from (crashed or hung workers) are not load-induced, so
+        waiting is opt-in.
+    backoff_factor:
+        Exponential growth of the backoff.
+    serial_fallback:
+        Allow falling back to in-parent serial composition when a task
+        exhausts its attempts or the pool breaks repeatedly.  With ``False``
+        the failure propagates instead (chaos tests use this to assert the
+        raw failure mode).
+    """
+
+    max_attempts: int = 3
+    timeout_seconds: float | None = None
+    backoff_seconds: float = 0.0
+    backoff_factor: float = 2.0
+    serial_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ResilienceError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+        if self.backoff_seconds < 0:
+            raise ResilienceError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ResilienceError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep before running ``attempt`` (0-based; 0 = none)."""
+        if attempt <= 0 or self.backoff_seconds == 0.0:
+            return 0.0
+        return self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recorded recovery action (retry, fallback, quarantine, ...)."""
+
+    #: ``"retry"`` | ``"timeout"`` | ``"pool_broken"`` | ``"serial_fallback"``
+    #: | ``"cache_quarantine"`` | ``"point_error"``
+    kind: str
+    #: The unit affected (task id, cache key, sweep point, ...).
+    key: str
+    #: Retry attempt the event happened on (0-based; -1 where meaningless).
+    attempt: int = 0
+    #: Human-readable cause (exception repr, timeout value, ...).
+    detail: str = ""
+
+
+__all__ = ["RecoveryEvent", "RetryPolicy"]

@@ -17,6 +17,8 @@ from .driver import (
     SweepFactory,
     enumerate_points,
     evaluate_point,
+    rows_from_table,
+    rows_to_table,
     run_sweep,
     verify_bit_identical,
 )
@@ -32,6 +34,7 @@ from .store import (
     RESERVED_POINT_FIELDS,
     STORE_VERSION,
     SweepResult,
+    canonical_store_bytes,
     load_result,
     save_result,
 )
@@ -47,6 +50,7 @@ __all__ = [
     "SweepError",
     "SweepFactory",
     "SweepResult",
+    "canonical_store_bytes",
     "central_difference",
     "check_axis_names",
     "condition_expression",
@@ -57,6 +61,8 @@ __all__ = [
     "latin_hypercube",
     "load_result",
     "resolve_prior",
+    "rows_from_table",
+    "rows_to_table",
     "run_sweep",
     "save_result",
     "verify_bit_identical",

@@ -28,6 +28,8 @@ see :mod:`repro.sweep.sensitivity` for the definitions.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 import time
 from dataclasses import dataclass, field
@@ -38,7 +40,10 @@ import numpy as np
 from ..analysis import ArcadeEvaluator
 from ..arcade.model import ArcadeModel
 from ..composer import QuotientCache, resolve_cache
-from ..errors import SweepError
+from ..errors import ArcadeError, SweepError
+from ..resilience.checkpoint import SweepCheckpoint
+from ..resilience.faults import active_fault
+from ..resilience.retry import RetryPolicy
 from ..simulation.rng import point_seed
 from ..telemetry.trace import incr, observe
 from ..telemetry.trace import span as telemetry_span
@@ -107,6 +112,27 @@ class SweepConfig:
     sim_horizon: float = 10_000.0
     sim_replications: int = 256
     sim_rel_error: float | None = None
+    #: Per-point failure isolation: a point whose evaluation raises a
+    #: library error becomes an ``status="error"`` row (NaN measures, the
+    #: message in the ``error`` column) instead of killing the sweep.
+    #: Non-library exceptions and interrupts always propagate.
+    isolate_failures: bool = False
+    #: Pre-reduction state ceiling per composition step, threaded to the
+    #: composer (:class:`~repro.errors.StateBudgetError` on excess — an
+    #: error row under ``isolate_failures``).
+    state_budget: int | None = None
+    #: Retry policy of the composer's parallel subtree dispatch.
+    retry: "RetryPolicy | None" = None
+    #: Base path of the crash-safe checkpoint pair (``None`` disables);
+    #: see :class:`~repro.resilience.SweepCheckpoint`.
+    checkpoint: "str | None" = None
+    #: Write the checkpoint every N completed evaluations (an interrupted
+    #: run additionally writes its final state on the way out).
+    checkpoint_every: int = 1
+    #: Replay a matching checkpoint at ``checkpoint`` before evaluating
+    #: anything live; bit-identical to an uninterrupted run (the shared
+    #: cache state travels in the checkpoint).
+    resume: bool = False
 
 
 @dataclass(frozen=True)
@@ -128,6 +154,10 @@ class PointResult:
     cache_hits: int
     cache_misses: int
     seconds: float
+    #: ``"ok"`` or ``"error"`` (failure-isolated point).
+    status: str = "ok"
+    #: The isolating error's message (empty for ``"ok"`` rows).
+    error: str = ""
 
 
 def evaluate_point(
@@ -147,6 +177,8 @@ def evaluate_point(
     index: int = 0,
     kind: str = "grid",
     model: ArcadeModel | None = None,
+    retry: "RetryPolicy | None" = None,
+    state_budget: int | None = None,
 ) -> PointResult:
     """Evaluate one parameter point (deterministic given its arguments).
 
@@ -174,6 +206,8 @@ def evaluate_point(
         sim_horizon=sim_horizon,
         sim_replications=sim_replications,
         sim_rel_error=sim_rel_error,
+        retry=retry,
+        state_budget=state_budget,
     )
     resolved = evaluator.resolved_backend
     if resolved == "compose" and factory.order is not None:
@@ -272,13 +306,38 @@ def _run_sweep_impl(factory: SweepFactory, config: SweepConfig) -> SweepResult:
     if not specs:
         raise SweepError("the sweep has no points (empty grid and no LHS samples)")
     cache = resolve_cache(config.cache)
+    checkpoint: SweepCheckpoint | None = None
+    replayed: list[PointResult] = []
+    if config.checkpoint is not None:
+        checkpoint = SweepCheckpoint(
+            config.checkpoint,
+            fingerprint=_config_fingerprint(factory, config, axes, sensitivity_axes),
+            axes=axes,
+        )
+        if config.resume and checkpoint.exists():
+            replayed, _ = checkpoint.load(cache)
+    elif config.resume:
+        raise SweepError("resume=True needs a checkpoint path in the sweep config")
     started = time.perf_counter()
     evaluations = 0
+    #: Every row in evaluation order — replayed and live — so a checkpoint
+    #: written at any moment records the full deterministic prefix.
+    history: list[PointResult] = []
 
     def evaluate(values: Mapping[str, float], kind: str, **overrides) -> PointResult:
         nonlocal evaluations
         index = evaluations
         evaluations += 1
+        if index < len(replayed):
+            # Resume replay: the recorded row *is* the evaluation (every
+            # point is a pure function of its seed and the cache state the
+            # checkpoint restored), so nothing runs and no counters move.
+            row = replayed[index]
+            history.append(row)
+            return row
+        fault = active_fault("sweep.interrupt", key=f"point:{index}")
+        if fault is not None:
+            raise KeyboardInterrupt(f"injected sweep interrupt before point {index}")
         arguments = dict(
             seed=point_seed(config.root_seed, index),
             cache=cache,
@@ -292,20 +351,89 @@ def _run_sweep_impl(factory: SweepFactory, config: SweepConfig) -> SweepResult:
             sim_rel_error=config.sim_rel_error,
             index=index,
             kind=kind,
+            retry=config.retry,
+            state_budget=config.state_budget,
         )
         arguments.update(overrides)
         with telemetry_span("sweep.point", index=index, kind=kind) as point_span:
-            row = evaluate_point(factory, values, **arguments)
+            elapsed_from = time.perf_counter()
+            try:
+                row = evaluate_point(factory, values, **arguments)
+            except ArcadeError as error:
+                if not config.isolate_failures:
+                    raise
+                # Failure isolation: the point becomes an error row instead
+                # of a dead sweep.  Only library errors qualify — a bug
+                # (TypeError, ...) or an interrupt still propagates.
+                full = dict(factory.base)
+                full.update(values)
+                row = PointResult(
+                    index=index,
+                    kind=kind,
+                    values=full,
+                    seed=arguments["seed"],
+                    backend="none",
+                    availability=math.nan,
+                    unavailability=math.nan,
+                    unreliability=math.nan,
+                    sim_half_width=math.nan,
+                    ctmc_states=0,
+                    ctmc_transitions=0,
+                    largest_intermediate_states=0,
+                    cache_hits=0,
+                    cache_misses=0,
+                    seconds=time.perf_counter() - elapsed_from,
+                    status="error",
+                    error=f"{type(error).__name__}: {error}"[:200],
+                )
+                incr("resilience.sweep.point_errors")
             point_span.set(
                 backend=row.backend,
                 cache_hits=row.cache_hits,
                 cache_misses=row.cache_misses,
                 seconds=row.seconds,
+                status=row.status,
             )
             incr("sweep.points")
             observe("sweep.point_seconds", row.seconds)
-            return row
+        history.append(row)
+        if checkpoint is not None and len(history) % config.checkpoint_every == 0:
+            checkpoint.write(history, cache)
+        return row
 
+    try:
+        outcome = _sweep_body(factory, config, sensitivity_axes, specs, evaluate)
+    except BaseException:
+        # Crash-safe exit: persist whatever completed before re-raising, so
+        # a resumed run replays it instead of recomputing.  The write is
+        # atomic — dying *here* leaves the previous checkpoint intact.
+        if checkpoint is not None and history:
+            checkpoint.write(history, cache)
+        raise
+    rows, sensitivities, importance = outcome
+
+    total_seconds = time.perf_counter() - started
+    return _assemble_result(
+        factory,
+        config,
+        axes,
+        rows,
+        sensitivities,
+        importance,
+        cache,
+        total_seconds,
+        evaluations,
+    )
+
+
+def _sweep_body(
+    factory: SweepFactory,
+    config: SweepConfig,
+    sensitivity_axes: tuple,
+    specs: list,
+    evaluate: Callable[..., PointResult],
+) -> tuple[list[PointResult], list[SensitivityRow], list[ImportanceRow]]:
+    """All evaluations of one sweep, in the deterministic replay order."""
     rows = [evaluate(values, kind) for kind, values in specs]
 
     # ---------------------------------------------------------------- #
@@ -363,18 +491,7 @@ def _run_sweep_impl(factory: SweepFactory, config: SweepConfig) -> SweepResult:
                 )
             )
 
-    total_seconds = time.perf_counter() - started
-    return _assemble_result(
-        factory,
-        config,
-        axes,
-        rows,
-        sensitivities,
-        importance,
-        cache,
-        total_seconds,
-        evaluations,
-    )
+    return rows, sensitivities, importance
 
 
 def verify_bit_identical(
@@ -400,6 +517,8 @@ def verify_bit_identical(
         record = points[row]
         if record["kind"] not in ("grid", "lhs", "base", "fd"):
             continue
+        if "status" in (points.dtype.names or ()) and str(record["status"]) != "ok":
+            continue  # error rows have no measures to reproduce
         values = {axis: float(record[axis]) for axis in result.axes}
         fresh = evaluate_point(
             factory,
@@ -449,6 +568,8 @@ _POINT_TAIL_FIELDS = [
     ("cache_hits", "i8"),
     ("cache_misses", "i8"),
     ("seconds", "f8"),
+    ("status", "U8"),
+    ("error", "U200"),
 ]
 
 _SENSITIVITY_FIELDS = [
@@ -470,17 +591,13 @@ _IMPORTANCE_FIELDS = [
 ]
 
 
-def _assemble_result(
-    factory: SweepFactory,
-    config: SweepConfig,
-    axes: list[str],
-    rows: list[PointResult],
-    sensitivities: list[SensitivityRow],
-    importance: list[ImportanceRow],
-    cache: "QuotientCache | None",
-    total_seconds: float,
-    evaluations: int,
-) -> SweepResult:
+def rows_to_table(rows: "Sequence[PointResult]", axes: "Sequence[str]") -> np.ndarray:
+    """Pack :class:`PointResult` rows into the structured ``points`` table.
+
+    The same encoding backs the final store and the resume checkpoint, so a
+    replayed row round-trips through exactly the representation the store
+    compares — the bit-identity contract never straddles two formats.
+    """
     dtype = np.dtype(
         [("index", "i8"), ("kind", "U12"), ("seed", "u8")]
         + [(axis, "f8") for axis in axes]
@@ -505,6 +622,115 @@ def _assemble_result(
         record["cache_hits"] = row.cache_hits
         record["cache_misses"] = row.cache_misses
         record["seconds"] = row.seconds
+        record["status"] = row.status
+        record["error"] = row.error
+    return points
+
+
+def rows_from_table(table: np.ndarray, axes: "Sequence[str]") -> list[PointResult]:
+    """Decode a ``points`` table back into :class:`PointResult` rows.
+
+    The inverse of :func:`rows_to_table` up to the axis projection: the
+    decoded ``values`` carry exactly the axis columns (unswept base
+    parameters are reapplied by the factory when a row is re-evaluated, and
+    never re-evaluated when a row is replayed).
+    """
+    rows: list[PointResult] = []
+    for record in table:
+        rows.append(
+            PointResult(
+                index=int(record["index"]),
+                kind=str(record["kind"]),
+                values={axis: float(record[axis]) for axis in axes},
+                seed=int(record["seed"]),
+                backend=str(record["backend"]),
+                availability=float(record["availability"]),
+                unavailability=float(record["unavailability"]),
+                unreliability=float(record["unreliability"]),
+                sim_half_width=float(record["sim_half_width"]),
+                ctmc_states=int(record["ctmc_states"]),
+                ctmc_transitions=int(record["ctmc_transitions"]),
+                largest_intermediate_states=int(
+                    record["largest_intermediate_states"]
+                ),
+                cache_hits=int(record["cache_hits"]),
+                cache_misses=int(record["cache_misses"]),
+                seconds=float(record["seconds"]),
+                status=str(record["status"]),
+                error=str(record["error"]),
+            )
+        )
+    return rows
+
+
+def _sweep_block(factory: SweepFactory, config: SweepConfig) -> dict:
+    """The manifest's ``sweep`` block (also the fingerprint's raw material)."""
+    return {
+        "factory": factory.name,
+        "base": {name: float(value) for name, value in factory.base.items()},
+        "grid": {
+            axis: [float(v) for v in values] for axis, values in config.grid.items()
+        },
+        "priors": {
+            axis: {
+                "low": resolve_prior(spec).low,
+                "high": resolve_prior(spec).high,
+                "log": resolve_prior(spec).log,
+            }
+            for axis, spec in config.priors.items()
+        },
+        "lhs_samples": config.lhs_samples,
+        "backend": config.backend,
+        "reduction": config.reduction,
+        "jobs": config.jobs,
+        "root_seed": config.root_seed,
+        "mission_time": config.mission_time,
+        "fd_step": config.fd_step,
+        "sim_horizon": config.sim_horizon,
+        "sim_replications": config.sim_replications,
+        "sim_rel_error": config.sim_rel_error,
+    }
+
+
+def _config_fingerprint(
+    factory: SweepFactory,
+    config: SweepConfig,
+    axes: "Sequence[str]",
+    sensitivity_axes: "Sequence[str]",
+) -> str:
+    """Digest of everything that determines the evaluation sequence.
+
+    ``jobs`` is deliberately excluded: the measures are bit-identical across
+    worker counts (the parallel-consistency guarantee), so a checkpoint
+    written under ``jobs=4`` may legitimately resume under ``jobs=1`` — the
+    typical post-crash posture.  Anything that *does* change the sequence or
+    the numbers (space, seeds, backend knobs, derived-phase setup) is in.
+    """
+    block = _sweep_block(factory, config)
+    block.pop("jobs")
+    material = {
+        "sweep": block,
+        "axes": list(axes),
+        "sensitivity_axes": list(sensitivity_axes),
+        "importance": bool(config.importance),
+        "importance_components": list(factory.importance_components),
+    }
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _assemble_result(
+    factory: SweepFactory,
+    config: SweepConfig,
+    axes: list[str],
+    rows: list[PointResult],
+    sensitivities: list[SensitivityRow],
+    importance: list[ImportanceRow],
+    cache: "QuotientCache | None",
+    total_seconds: float,
+    evaluations: int,
+) -> SweepResult:
+    points = rows_to_table(rows, axes)
 
     sensitivity_table = np.zeros(len(sensitivities), dtype=np.dtype(_SENSITIVITY_FIELDS))
     for position, entry in enumerate(sensitivities):
@@ -527,32 +753,11 @@ def _assemble_result(
         record["improvement_potential"] = entry.improvement_potential
 
     manifest = {
-        "sweep": {
-            "factory": factory.name,
-            "base": {name: float(value) for name, value in factory.base.items()},
-            "grid": {axis: [float(v) for v in values] for axis, values in config.grid.items()},
-            "priors": {
-                axis: {
-                    "low": resolve_prior(spec).low,
-                    "high": resolve_prior(spec).high,
-                    "log": resolve_prior(spec).log,
-                }
-                for axis, spec in config.priors.items()
-            },
-            "lhs_samples": config.lhs_samples,
-            "backend": config.backend,
-            "reduction": config.reduction,
-            "jobs": config.jobs,
-            "root_seed": config.root_seed,
-            "mission_time": config.mission_time,
-            "fd_step": config.fd_step,
-            "sim_horizon": config.sim_horizon,
-            "sim_replications": config.sim_replications,
-            "sim_rel_error": config.sim_rel_error,
-        },
+        "sweep": _sweep_block(factory, config),
         "totals": {
             "points": int(np.isin(points["kind"], ("grid", "lhs")).sum()),
             "evaluations": evaluations,
+            "errors": int((points["status"] == "error").sum()),
             "seconds": round(total_seconds, 4),
         },
         "cache": cache.summary() if cache is not None else None,
@@ -568,7 +773,7 @@ def _assemble_result(
 
 def _distributions(points: np.ndarray) -> dict:
     """Distribution summaries of the LHS samples (uncertainty propagation)."""
-    lhs = points[points["kind"] == "lhs"]
+    lhs = points[(points["kind"] == "lhs") & (points["status"] == "ok")]
     if lhs.size == 0:
         return {}
     quantile_levels = (0.05, 0.25, 0.5, 0.75, 0.95)
@@ -593,6 +798,8 @@ __all__ = [
     "SweepFactory",
     "enumerate_points",
     "evaluate_point",
+    "rows_from_table",
+    "rows_to_table",
     "run_sweep",
     "verify_bit_identical",
 ]

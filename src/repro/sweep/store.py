@@ -39,7 +39,9 @@ import numpy as np
 from ..errors import SweepError
 
 #: Bumped whenever the table schemas change shape incompatibly.
-STORE_VERSION = 1
+#: Version 2 added the per-point ``status``/``error`` columns (failure
+#: isolation: a point that raises becomes an error row, not a dead sweep).
+STORE_VERSION = 2
 
 #: ``points`` columns that are not parameter axes; axis names must avoid
 #: these (checked when the sweep is configured).
@@ -58,6 +60,8 @@ RESERVED_POINT_FIELDS = (
     "cache_hits",
     "cache_misses",
     "seconds",
+    "status",
+    "error",
 )
 
 
@@ -170,10 +174,52 @@ def load_result(base: "str | Path") -> SweepResult:
     )
 
 
+def canonical_store_bytes(result: SweepResult) -> bytes:
+    """A deterministic byte encoding of everything reproducible in a result.
+
+    This is the comparison form of the resume bit-identity guarantee: a
+    sweep interrupted and resumed must produce a store whose canonical bytes
+    equal the uninterrupted run's.  Wall-clock is the *only* thing excluded
+    — the per-point ``seconds`` column is zeroed and the timing totals
+    (``totals.seconds``, ``cache.saved_seconds``) dropped from the manifest;
+    every measure, size, seed, status and cache hit/miss delta is included
+    bit for bit.  (The raw ``.npz`` is not compared directly because zip
+    archives embed write timestamps.)
+
+    The encoding is length-prefixed-free but unambiguous: a canonical-JSON
+    manifest, then per table its name, its dtype descriptor and the packed
+    row bytes of the structured array (fixed-width fields, no padding, no
+    object dtypes — guaranteed by the store's schema).
+    """
+    manifest = json.loads(json.dumps(result.manifest))  # deep copy, JSON-clean
+    manifest.pop("store", None)
+    totals = manifest.get("totals")
+    if isinstance(totals, dict):
+        totals.pop("seconds", None)
+    cache = manifest.get("cache")
+    if isinstance(cache, dict):
+        cache.pop("saved_seconds", None)
+    parts = [json.dumps(manifest, sort_keys=True, separators=(",", ":")).encode()]
+    tables = {
+        "points": result.points,
+        "sensitivities": result.sensitivities,
+        "importance": result.importance,
+    }
+    for name, table in tables.items():
+        canonical = np.array(table, copy=True)
+        if canonical.dtype.names and "seconds" in canonical.dtype.names:
+            canonical["seconds"] = 0.0
+        parts.append(name.encode())
+        parts.append(str(canonical.dtype.descr).encode())
+        parts.append(np.ascontiguousarray(canonical).tobytes())
+    return b"\x00".join(parts)
+
+
 __all__ = [
     "RESERVED_POINT_FIELDS",
     "STORE_VERSION",
     "SweepResult",
+    "canonical_store_bytes",
     "load_result",
     "save_result",
 ]

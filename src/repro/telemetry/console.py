@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import argparse
 import logging
+import signal
 import sys
+import threading
 from contextlib import contextmanager, nullcontext
 
 from .sink import JsonlSink, RunManifest
@@ -102,23 +104,57 @@ def telemetry_from_args(
 
 
 @contextmanager
+def _graceful_sigterm():
+    """Turn SIGTERM into ``SystemExit`` for the duration of the scope.
+
+    The default SIGTERM disposition kills the process without unwinding the
+    stack, so ``finally`` blocks never run: telemetry sinks are left with
+    truncated JSONL lines and worker pools with orphan processes.  Raising
+    ``SystemExit`` instead routes the shutdown through the ordinary
+    exception machinery — the composer terminates its pool, the sweep writes
+    its checkpoint, and the session's ``close()`` flushes the sink.  Only
+    the main thread may set signal handlers; anywhere else (tests driving
+    the CLI from a worker thread) this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.getsignal(signal.SIGTERM)
+
+    def _exit(signum, frame):
+        raise SystemExit(128 + signum)
+
+    signal.signal(signal.SIGTERM, _exit)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+@contextmanager
 def telemetry_session(
     tool: str,
     args: argparse.Namespace,
     *,
     seeds: dict | None = None,
 ):
-    """Activated telemetry scope for a whole CLI run (no-op when unset)."""
+    """Activated telemetry scope for a whole CLI run (no-op when unset).
+
+    The scope also converts SIGTERM into a normal ``SystemExit`` unwind so
+    an externally killed run still flushes its telemetry sink, checkpoints
+    and worker pools (see :func:`_graceful_sigterm`) — that part applies
+    with or without ``--telemetry``.
+    """
     telemetry = telemetry_from_args(tool, args, seeds=seeds)
-    if telemetry is None:
-        with nullcontext():
+    with _graceful_sigterm():
+        if telemetry is None:
             yield None
-        return
-    try:
-        with telemetry.activate():
-            yield telemetry
-    finally:
-        telemetry.close()
+            return
+        try:
+            with telemetry.activate():
+                yield telemetry
+        finally:
+            telemetry.close()
 
 
 __all__ = [

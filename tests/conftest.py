@@ -12,6 +12,12 @@ Markers
     oracles (flat composition, the reduced compositional pipeline, and the
     Monte-Carlo simulator).  Skipped by default to keep tier-1 fast; enable
     with ``--run-differential``.
+``chaos``
+    The fault-injection suite under ``tests/chaos/``: pipelines run under
+    injected worker crashes, timeouts, corrupted cache entries and
+    interrupts must recover to bit-identical results.  Skipped by default
+    (process pools and deliberate stalls make it slow); enable with
+    ``--run-chaos``.
 """
 
 import pytest
@@ -64,6 +70,12 @@ def pytest_addoption(parser):
         help="run the differential cross-validation suite (tests/differential/)",
     )
     parser.addoption(
+        "--run-chaos",
+        action="store_true",
+        default=False,
+        help="run the fault-injection chaos suite (tests/chaos/)",
+    )
+    parser.addoption(
         "--compose-jobs",
         type=int,
         default=1,
@@ -86,14 +98,23 @@ def pytest_configure(config):
         "markers",
         "differential: randomised cross-validation suite (needs --run-differential)",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection recovery suite (needs --run-chaos)",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
-    if config.getoption("--run-differential"):
-        return
     skip_differential = pytest.mark.skip(
         reason="differential suite disabled (pass --run-differential to enable)"
     )
+    skip_chaos = pytest.mark.skip(
+        reason="chaos suite disabled (pass --run-chaos to enable)"
+    )
     for item in items:
-        if "differential" in item.keywords:
+        if "differential" in item.keywords and not config.getoption(
+            "--run-differential"
+        ):
             item.add_marker(skip_differential)
+        if "chaos" in item.keywords and not config.getoption("--run-chaos"):
+            item.add_marker(skip_chaos)

@@ -1,0 +1,453 @@
+"""The resilience layer (:mod:`repro.resilience`): fast tier-1 coverage.
+
+Four groups:
+
+* **fault harness** — the declarative and seeded injection modes are
+  deterministic and scoped (no ambient plan = no behaviour change);
+* **retry policy** — validation and the backoff schedule;
+* **crash-safe cache file** — checksummed save/load round-trips the quotient
+  cache exactly (entries, sizes *and* counters), a corrupted entry is
+  quarantined without failing the load, and structural damage fails loudly;
+* **sweep resilience** — failure isolation turns a budget-exceeding point
+  into an error row, and an interrupted sweep resumed from its checkpoint
+  produces a canonically bit-identical store.
+
+The process-pool recovery paths (worker crash, timeout, serial fallback)
+live in ``tests/chaos/`` — they need real worker pools and deliberate
+stalls, which is exactly what tier-1 must not wait for.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arcade import (
+    ArcadeModel,
+    BasicComponent,
+    RepairStrategy,
+    RepairUnit,
+    down,
+)
+from repro.arcade.expressions import And
+from repro.arcade.semantics import translate_model
+from repro.composer import QuotientCache, compose_model
+from repro.errors import CacheStoreError, ResilienceError, StateBudgetError, SweepError
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    INJECTION_SITES,
+    RetryPolicy,
+    SweepCheckpoint,
+    active_fault,
+    inject_faults,
+    load_cache,
+    save_cache,
+)
+from repro.sweep import (
+    SweepConfig,
+    SweepFactory,
+    canonical_store_bytes,
+    run_sweep,
+)
+from repro.distributions import Exponential
+
+
+# --------------------------------------------------------------------------- #
+# shared fixtures
+# --------------------------------------------------------------------------- #
+def _pair_model(fail_a: float = 0.01, fail_b: float = 0.02) -> ArcadeModel:
+    model = ArcadeModel(name="resilience_pair")
+    for name, rate in (("a", fail_a), ("b", fail_b)):
+        model.add_component(
+            BasicComponent(
+                name,
+                time_to_failures=Exponential(rate),
+                time_to_repairs=Exponential(1.0),
+            )
+        )
+    model.add_repair_unit(RepairUnit("rep", ["a", "b"], RepairStrategy.FCFS))
+    model.set_system_down(And([down("a"), down("b")]))
+    return model
+
+
+def _pair_factory() -> SweepFactory:
+    return SweepFactory(
+        name="resilience_pair",
+        build=lambda values: _pair_model(values["fail_a"], values["fail_b"]),
+        base={"fail_a": 0.01, "fail_b": 0.02},
+        rate_axes=("fail_a",),
+    )
+
+
+def _populated_cache() -> QuotientCache:
+    cache = QuotientCache()
+    compose_model(translate_model(_pair_model()), cache=cache)
+    assert cache.stores > 0
+    return cache
+
+
+# --------------------------------------------------------------------------- #
+# fault harness
+# --------------------------------------------------------------------------- #
+class TestFaultHarness:
+    def test_unknown_site_is_rejected(self):
+        with pytest.raises(ResilienceError, match="unknown injection site"):
+            FaultSpec(site="worker.meltdown")
+        with pytest.raises(ResilienceError, match="unknown injection site"):
+            FaultPlan(seed=1, rate=0.5, sites=("nope",))
+
+    def test_probabilistic_plan_needs_seed_and_valid_rate(self):
+        with pytest.raises(ResilienceError, match="needs a seed"):
+            FaultPlan(rate=0.5)
+        with pytest.raises(ResilienceError, match="rate must be"):
+            FaultPlan(seed=1, rate=1.5)
+
+    def test_no_ambient_plan_means_no_fault(self):
+        assert active_fault("worker.crash", key="subtree:0") is None
+
+    def test_declarative_spec_matches_site_key_and_attempt(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="worker.crash", key="subtree:1", attempts=(0, 2)),)
+        )
+        with inject_faults(plan):
+            assert active_fault("worker.crash", key="subtree:1", attempt=0)
+            assert active_fault("worker.crash", key="subtree:1", attempt=1) is None
+            assert active_fault("worker.crash", key="subtree:1", attempt=2)
+            assert active_fault("worker.crash", key="subtree:2", attempt=0) is None
+            assert active_fault("worker.timeout", key="subtree:1") is None
+        assert plan.fired == [
+            ("worker.crash", "subtree:1", 0),
+            ("worker.crash", "subtree:1", 2),
+        ]
+
+    def test_plan_is_scoped_to_the_block(self):
+        with inject_faults(FaultPlan(specs=(FaultSpec(site="sweep.interrupt"),))):
+            assert active_fault("sweep.interrupt") is not None
+        assert active_fault("sweep.interrupt") is None
+
+    def test_none_plan_is_a_noop(self):
+        with inject_faults(None) as plan:
+            assert plan is None
+            assert active_fault("worker.crash") is None
+
+    def test_seeded_mode_is_deterministic_and_seed_sensitive(self):
+        def firings(seed):
+            plan = FaultPlan(seed=seed, rate=0.3, sites=("worker.crash",))
+            with inject_faults(plan):
+                for index in range(40):
+                    active_fault("worker.crash", key=f"subtree:{index}")
+            return list(plan.fired)
+
+        first, again, other = firings(7), firings(7), firings(8)
+        assert first == again
+        assert 0 < len(first) < 40  # rate 0.3 over 40 draws: some, not all
+        assert first != other
+
+    def test_seeded_mode_respects_the_site_filter(self):
+        plan = FaultPlan(seed=7, rate=1.0, sites=("worker.timeout",))
+        with inject_faults(plan):
+            assert active_fault("worker.crash", key="x") is None
+            assert active_fault("worker.timeout", key="x") is not None
+
+    def test_declarative_spec_wins_over_probabilistic_mode(self):
+        spec = FaultSpec(site="compose.blowup", key="step", factor=2.0)
+        plan = FaultPlan(specs=(spec,), seed=1, rate=1.0)
+        with inject_faults(plan):
+            assert active_fault("compose.blowup", key="step") is spec
+
+    def test_plan_round_trips_through_pickle(self):
+        import pickle
+
+        plan = FaultPlan(
+            specs=(FaultSpec(site="worker.crash", key="subtree:0"),), seed=3, rate=0.1
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.specs == plan.specs
+        assert (clone.seed, clone.rate, clone.sites) == (plan.seed, plan.rate, plan.sites)
+
+    def test_all_sites_are_documented_strings(self):
+        assert all(isinstance(site, str) and "." in site for site in INJECTION_SITES)
+
+
+# --------------------------------------------------------------------------- #
+# retry policy
+# --------------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ResilienceError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ResilienceError, match="timeout"):
+            RetryPolicy(timeout_seconds=0.0)
+        with pytest.raises(ResilienceError, match="backoff"):
+            RetryPolicy(backoff_seconds=-1.0)
+        with pytest.raises(ResilienceError, match="factor"):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_backoff_schedule_is_exponential(self):
+        policy = RetryPolicy(backoff_seconds=0.5, backoff_factor=2.0)
+        assert policy.backoff(0) == 0.0  # first attempt never waits
+        assert policy.backoff(1) == 0.5
+        assert policy.backoff(2) == 1.0
+        assert policy.backoff(3) == 2.0
+
+    def test_zero_backoff_by_default(self):
+        policy = RetryPolicy()
+        assert all(policy.backoff(attempt) == 0.0 for attempt in range(4))
+
+
+# --------------------------------------------------------------------------- #
+# crash-safe on-disk cache
+# --------------------------------------------------------------------------- #
+class TestCacheFile:
+    def test_round_trip_restores_entries_and_counters(self, tmp_path):
+        cache = _populated_cache()
+        path = tmp_path / "cache.npz"
+        stored = save_cache(cache, path)
+        assert stored == len(cache.entries())
+
+        restored, report = load_cache(path)
+        assert report.loaded == stored
+        assert report.quarantined == 0
+        assert set(restored.entries()) == set(cache.entries())
+        assert restored.hits == cache.hits
+        assert restored.misses == cache.misses
+        assert restored.stores == cache.stores
+        for key, entry in cache.entries().items():
+            clone = restored.entries()[key]
+            assert clone.automaton.summary() == entry.automaton.summary()
+            assert clone.states_before == entry.states_before
+            assert clone.transitions_before == entry.transitions_before
+
+    def test_warm_start_is_bit_identical_to_in_memory_cache(self, tmp_path):
+        cache = _populated_cache()
+        path = tmp_path / "cache.npz"
+        save_cache(cache, path)
+        restored, _ = load_cache(path)
+
+        translated = translate_model(_pair_model())
+        from_memory = compose_model(translated, cache=cache)
+        from_disk = compose_model(translated, cache=restored)
+        assert from_disk.ctmc.summary() == from_memory.ctmc.summary()
+        assert from_disk.statistics.cache_hits == from_memory.statistics.cache_hits
+
+    def test_injected_corruption_quarantines_only_that_entry(self, tmp_path):
+        cache = _populated_cache()
+        victim = sorted(cache.entries())[0]
+        path = tmp_path / "cache.npz"
+        plan = FaultPlan(specs=(FaultSpec(site="cache.corrupt_entry", key=victim),))
+        with inject_faults(plan):
+            save_cache(cache, path)
+        assert plan.fired == [("cache.corrupt_entry", victim, 0)]
+
+        restored, report = load_cache(path)
+        assert report.quarantined == 1
+        assert report.quarantined_keys == (victim,)
+        assert report.loaded == len(cache.entries()) - 1
+        assert victim not in restored.entries()
+
+    def test_flipped_byte_on_disk_is_quarantined_not_crashed(self, tmp_path):
+        # Belt and braces for the injection test: corrupt the archive the
+        # blunt way (rewrite one member's payload) and the checksum must
+        # still catch it entry-locally.
+        cache = _populated_cache()
+        path = tmp_path / "cache.npz"
+        save_cache(cache, path)
+
+        with np.load(path, allow_pickle=False) as archive:
+            members = {name: archive[name] for name in archive.files}
+        victim = next(name for name in members if name.endswith(".ii"))
+        members[victim] = members[victim].copy()
+        members[victim][-1] ^= 1
+        np.savez(path, **members)
+
+        _, report = load_cache(path)
+        assert report.quarantined == 1
+        assert report.loaded == len(cache.entries()) - 1
+
+    def test_missing_and_malformed_files_fail_loudly(self, tmp_path):
+        with pytest.raises(CacheStoreError, match="cannot read"):
+            load_cache(tmp_path / "nothing.npz")
+        bogus = tmp_path / "bogus.npz"
+        bogus.write_bytes(b"not a zip archive")
+        with pytest.raises(CacheStoreError):
+            load_cache(bogus)
+
+    def test_wrong_format_tag_is_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(
+            path,
+            index=np.frombuffer(b'{"format": "something-else"}', dtype=np.uint8),
+        )
+        with pytest.raises(CacheStoreError, match="unknown format"):
+            load_cache(path)
+
+    def test_load_into_existing_cache_merges_counters(self, tmp_path):
+        cache = _populated_cache()
+        path = tmp_path / "cache.npz"
+        save_cache(cache, path)
+        target = QuotientCache()
+        merged, report = load_cache(path, target)
+        assert merged is target
+        assert target.stores == cache.stores
+        assert report.loaded == len(cache.entries())
+
+
+# --------------------------------------------------------------------------- #
+# state budget
+# --------------------------------------------------------------------------- #
+class TestStateBudget:
+    def test_budget_excess_raises_with_step_context(self):
+        translated = translate_model(_pair_model())
+        with pytest.raises(StateBudgetError, match="exceeds the state budget"):
+            compose_model(translated, state_budget=2)
+
+    def test_generous_budget_changes_nothing(self):
+        translated = translate_model(_pair_model())
+        plain = compose_model(translated)
+        bounded = compose_model(translated, state_budget=10**9)
+        assert bounded.ctmc.summary() == plain.ctmc.summary()
+
+    def test_blowup_fault_trips_the_budget(self):
+        translated = translate_model(_pair_model())
+        plan = FaultPlan(specs=(FaultSpec(site="compose.blowup"),))
+        with inject_faults(plan):
+            with pytest.raises(StateBudgetError, match="injected blowup"):
+                compose_model(translated, state_budget=10**9)
+
+
+# --------------------------------------------------------------------------- #
+# sweep resilience: isolation + checkpoint/resume
+# --------------------------------------------------------------------------- #
+def _sweep_config(**overrides) -> SweepConfig:
+    base = dict(
+        grid={"fail_a": [0.01, 0.02], "fail_b": [0.02, 0.03]},
+        cache="on",
+        importance=False,
+    )
+    base.update(overrides)
+    return SweepConfig(**base)
+
+
+class TestSweepFailureIsolation:
+    def test_budget_errors_become_error_rows(self):
+        result = run_sweep(
+            _pair_factory(), _sweep_config(isolate_failures=True, state_budget=2)
+        )
+        assert set(result.points["status"]) == {"error"}
+        assert result.manifest["totals"]["errors"] == len(result.points)
+        assert all("StateBudgetError" in text for text in result.points["error"])
+        assert all(math.isnan(value) for value in result.points["availability"])
+        assert result.manifest["distributions"] == {}
+
+    def test_without_isolation_the_sweep_dies(self):
+        with pytest.raises(StateBudgetError):
+            run_sweep(_pair_factory(), _sweep_config(state_budget=2))
+
+    def test_ok_rows_report_status_ok(self):
+        result = run_sweep(_pair_factory(), _sweep_config(isolate_failures=True))
+        assert set(result.points["status"]) == {"ok"}
+        assert result.manifest["totals"]["errors"] == 0
+        assert all(text == "" for text in result.points["error"])
+
+
+class TestSweepCheckpointResume:
+    def test_interrupted_then_resumed_is_canonically_bit_identical(self, tmp_path):
+        golden = run_sweep(_pair_factory(), _sweep_config())
+        checkpoint = str(tmp_path / "sweep")
+
+        plan = FaultPlan(specs=(FaultSpec(site="sweep.interrupt", key="point:3"),))
+        with inject_faults(plan):
+            with pytest.raises(KeyboardInterrupt):
+                run_sweep(_pair_factory(), _sweep_config(checkpoint=checkpoint))
+        assert (tmp_path / "sweep.ckpt.npz").exists()
+        assert (tmp_path / "sweep.ckpt.cache.npz").exists()
+
+        resumed = run_sweep(
+            _pair_factory(), _sweep_config(checkpoint=checkpoint, resume=True)
+        )
+        assert canonical_store_bytes(resumed) == canonical_store_bytes(golden)
+        # The replayed rows carry the recorded cache deltas, and the first
+        # live point continues from the restored cache state.
+        assert list(resumed.points["cache_hits"]) == list(golden.points["cache_hits"])
+
+    def test_resume_of_a_completed_sweep_is_a_full_replay(self, tmp_path):
+        checkpoint = str(tmp_path / "sweep")
+        first = run_sweep(_pair_factory(), _sweep_config(checkpoint=checkpoint))
+        again = run_sweep(
+            _pair_factory(), _sweep_config(checkpoint=checkpoint, resume=True)
+        )
+        assert canonical_store_bytes(again) == canonical_store_bytes(first)
+
+    def test_resume_without_checkpoint_path_is_rejected(self):
+        with pytest.raises(SweepError, match="checkpoint path"):
+            run_sweep(_pair_factory(), _sweep_config(resume=True))
+
+    def test_reconfigured_sweep_refuses_the_checkpoint(self, tmp_path):
+        checkpoint = str(tmp_path / "sweep")
+        plan = FaultPlan(specs=(FaultSpec(site="sweep.interrupt", key="point:2"),))
+        with inject_faults(plan):
+            with pytest.raises(KeyboardInterrupt):
+                run_sweep(_pair_factory(), _sweep_config(checkpoint=checkpoint))
+        with pytest.raises(SweepError, match="different sweep configuration"):
+            run_sweep(
+                _pair_factory(),
+                _sweep_config(
+                    grid={"fail_a": [0.5]}, checkpoint=checkpoint, resume=True
+                ),
+            )
+
+    def test_jobs_is_excluded_from_the_fingerprint(self, tmp_path):
+        # A checkpoint written under jobs=2 must resume under jobs=1: the
+        # measures are identical across worker counts, and post-crash
+        # serial resumption is the common case.
+        checkpoint = str(tmp_path / "sweep")
+        plan = FaultPlan(specs=(FaultSpec(site="sweep.interrupt", key="point:2"),))
+        with inject_faults(plan):
+            with pytest.raises(KeyboardInterrupt):
+                run_sweep(
+                    _pair_factory(), _sweep_config(checkpoint=checkpoint, jobs=2)
+                )
+        resumed = run_sweep(
+            _pair_factory(), _sweep_config(checkpoint=checkpoint, resume=True, jobs=1)
+        )
+        golden = run_sweep(_pair_factory(), _sweep_config(jobs=1))
+        assert np.array_equal(
+            resumed.points["availability"], golden.points["availability"]
+        )
+
+    def test_checkpoint_clear_removes_both_files(self, tmp_path):
+        checkpoint = SweepCheckpoint(
+            tmp_path / "sweep", fingerprint="f", axes=["fail_a"]
+        )
+        assert not checkpoint.exists()
+        checkpoint.clear()  # missing files are fine
+        from repro.sweep import PointResult
+
+        row = PointResult(
+            index=0,
+            kind="grid",
+            values={"fail_a": 0.01},
+            seed=1,
+            backend="compose",
+            availability=1.0,
+            unavailability=0.0,
+            unreliability=math.nan,
+            sim_half_width=math.nan,
+            ctmc_states=3,
+            ctmc_transitions=4,
+            largest_intermediate_states=5,
+            cache_hits=0,
+            cache_misses=1,
+            seconds=0.1,
+        )
+        checkpoint.write([row], None)
+        assert checkpoint.exists()
+        loaded, report = checkpoint.load(None)
+        assert report is None
+        assert len(loaded) == 1
+        assert loaded[0].values == {"fail_a": 0.01}
+        assert loaded[0].availability == 1.0
+        assert loaded[0].status == "ok"
+        checkpoint.clear()
+        assert not checkpoint.exists()

@@ -33,6 +33,7 @@ from repro.errors import SweepError
 from repro.simulation.rng import point_seed, point_seed_sequence
 from repro.sweep import (
     Prior,
+    STORE_VERSION,
     SweepConfig,
     SweepFactory,
     check_axis_names,
@@ -395,7 +396,7 @@ class TestStore:
         _, manifest_path = result.save(tmp_path / "tiny")
         manifest = json.loads(manifest_path.read_text())
         store = manifest["store"]
-        assert store["version"] == 1
+        assert store["version"] == STORE_VERSION
         assert store["tables"]["points"]["rows"] == len(result.points)
         assert "availability" in store["tables"]["points"]["fields"]
 
